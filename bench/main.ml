@@ -1,0 +1,186 @@
+(* Bechamel harness.
+
+   Two groups:
+
+   - "paper": one benchmark per table/figure of the study — each run
+     regenerates the artifact (in quick mode, so the full suite stays in
+     the minutes range).  `gcperf run <id>` produces the full-scale
+     artifact.
+   - "micro": collector primitives (allocation, young collection, full
+     collection, concurrent cycle, client generation) so regressions in
+     the simulator itself are visible independently of the campaigns. *)
+
+open Bechamel
+open Toolkit
+
+module Vm = Gcperf_runtime.Vm
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+
+let mb = 1024 * 1024
+let machine = Machine.paper_server ()
+
+(* --- paper artifacts ------------------------------------------------- *)
+
+let experiment_tests =
+  List.map
+    (fun id ->
+      let run =
+        match Gcperf.Experiments.by_name id with
+        | Some f -> f
+        | None -> assert false
+      in
+      Test.make ~name:id (Staged.stage (fun () -> ignore (run ~quick:true))))
+    [ "table2"; "table3"; "table4"; "fig1"; "fig2"; "fig3"; "table8" ]
+
+(* The client-server campaigns are the heaviest; bench them through
+   scaled-down runs so the whole harness stays tractable. *)
+let server_tests =
+  [
+    Test.make ~name:"fig4-cms-server"
+      (Staged.stage (fun () ->
+           ignore
+             (Gcperf.Exp_server.run_server ~quick:true ~kind:Gc_config.Cms
+                ~stress:true ~hours:0.5 ())));
+    Test.make ~name:"fig4-g1-server"
+      (Staged.stage (fun () ->
+           ignore
+             (Gcperf.Exp_server.run_server ~quick:true ~kind:Gc_config.G1
+                ~stress:true ~hours:0.5 ())));
+    Test.make ~name:"server-po-default"
+      (Staged.stage (fun () ->
+           ignore
+             (Gcperf.Exp_server.run_server ~quick:true
+                ~kind:Gc_config.ParallelOld ~stress:false ~hours:0.5 ())));
+    Test.make ~name:"fig5-table567-client"
+      (Staged.stage (fun () ->
+           (* Client generation + latency statistics against a synthetic
+              pause timeline (the server side is benched above). *)
+           let pauses =
+             Array.init 40 (fun i ->
+                 let s = 10.0 +. (30.0 *. float_of_int i) in
+                 (s, s +. 2.0))
+           in
+           let w =
+             { Gcperf_ycsb.Client.paper_workload with duration_s = 1200.0 }
+           in
+           let pts =
+             Gcperf_ycsb.Client.run w ~pauses ~db_timeline:[||] ~seed:1
+           in
+           ignore (Gcperf_ycsb.Client.report pts ~kind:Gcperf_ycsb.Client.Read)));
+  ]
+
+(* --- micro ------------------------------------------------------------ *)
+
+let vm_for kind =
+  let vm =
+    Vm.create machine
+      (Gc_config.default kind ~heap_bytes:(256 * mb) ~young_bytes:(64 * mb))
+      ~seed:7
+  in
+  let th = Vm.spawn_thread vm in
+  (vm, th)
+
+let micro_tests =
+  [
+    Test.make ~name:"alloc-tlab"
+      (let vm, th = vm_for Gc_config.ParallelOld in
+       Staged.stage (fun () ->
+           (* Drop the root right away: lifetimes only retire inside
+              [Vm.step], which a micro-benchmark loop never reaches. *)
+           let id = Vm.alloc vm th ~size:4096 ~lifetime:`Permanent in
+           Vm.drop_root vm th id));
+    Test.make ~name:"young-gc-parallel-old"
+      (let vm, th = vm_for Gc_config.ParallelOld in
+       Staged.stage (fun () ->
+           (* ~52 MB of dropped data: one young collection per call. *)
+           for _ = 1 to 100 do
+             let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+             Vm.drop_root vm th id
+           done));
+    Test.make ~name:"young-gc-g1"
+      (let vm, th = vm_for Gc_config.G1 in
+       Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+             Vm.drop_root vm th id
+           done));
+    Test.make ~name:"full-gc-serial"
+      (let vm, th = vm_for Gc_config.Serial in
+       let _keep =
+         List.init 32 (fun _ ->
+             Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+       in
+       Staged.stage (fun () -> Vm.system_gc vm));
+    Test.make ~name:"cms-concurrent-tick"
+      (let vm, th = vm_for Gc_config.Cms in
+       let _hoard =
+         List.init 380 (fun _ ->
+             Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+       in
+       Staged.stage (fun () -> Vm.step vm ~dt_us:1000.0 (fun _ -> ())));
+    Test.make ~name:"zipf-sample"
+      (let prng = Gcperf_util.Prng.create 3 in
+       Staged.stage (fun () ->
+           ignore (Gcperf_util.Prng.zipf prng ~n:1_000_000 ~theta:0.99)));
+    Test.make ~name:"latency-report-100k"
+      (let prng = Gcperf_util.Prng.create 4 in
+       let pts =
+         Array.init 100_000 (fun _ ->
+             (Gcperf_util.Prng.exponential prng 2.0, Gcperf_util.Prng.bool prng))
+       in
+       Staged.stage (fun () -> ignore (Gcperf_stats.Stats.latency_report pts)));
+  ]
+
+(* --- driver ------------------------------------------------------------ *)
+
+let benchmark tests ~quota_s ~limit =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit ~quota:(Time.second quota_s) ~stabilize:false
+      ~start:1 ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results label results =
+  Printf.printf "== %s ==\n%!" label;
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "  %-32s (no estimate)\n" name
+      else Printf.printf "  %-32s %12.3f ms/run\n" name (est /. 1e6))
+    (List.sort compare !rows);
+  print_newline ()
+
+let () =
+  let micro =
+    benchmark (Test.make_grouped ~name:"micro" micro_tests) ~quota_s:0.5
+      ~limit:500
+  in
+  print_results "micro (simulator primitives)" micro;
+  let paper =
+    benchmark
+      (Test.make_grouped ~name:"paper" experiment_tests)
+      ~quota_s:1.0 ~limit:2
+  in
+  print_results "paper artifacts (quick mode)" paper;
+  let server =
+    benchmark (Test.make_grouped ~name:"server" server_tests) ~quota_s:1.0
+      ~limit:2
+  in
+  print_results "client-server campaigns (scaled)" server;
+  print_endline
+    "note: `gcperf run <id>` regenerates each table/figure at full scale."

@@ -1,0 +1,197 @@
+(* gcperf: command-line front end for the GC performance study.
+
+   `gcperf list` enumerates experiments, `gcperf run <id>` regenerates a
+   table or figure of the paper, `gcperf bench <name>` runs a single
+   DaCapo-like benchmark under a chosen collector, and `gcperf suite`
+   prints the benchmark descriptions. *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc =
+    "Quick mode: scale down run and iteration counts (useful for smoke \
+     tests; the full configuration matches the paper)."
+  in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let out_arg =
+  let doc = "Write the rendered artifact to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the reproducible tables and figures." in
+  let run () =
+    print_endline "Experiments (paper artifact -> gcperf run <id>):";
+    List.iter
+      (fun id -> Printf.printf "  %s\n" id)
+      Gcperf.Experiments.all_names
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let doc = "Regenerate one table or figure of the study." in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment id (see $(b,gcperf list)).")
+  in
+  let run id quick out =
+    match Gcperf.Experiments.by_name id with
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `gcperf list`\n" id;
+        exit 1
+    | Some f -> emit out (f ~quick)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id_arg $ quick_arg $ out_arg)
+
+(* --- bench --------------------------------------------------------- *)
+
+let bench_cmd =
+  let doc = "Run one benchmark under a chosen collector and print its log." in
+  let bench_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"DaCapo-like benchmark name.")
+  in
+  let gc_arg =
+    let doc = "Collector: serial, parnew, parallel, parallelold, cms, g1." in
+    Arg.(value & opt string "parallelold" & info [ "gc" ] ~doc)
+  in
+  let heap_arg =
+    let doc = "Heap size in megabytes (minimum = maximum, as in the study)." in
+    Arg.(value & opt int 16384 & info [ "heap" ] ~docv:"MB" ~doc)
+  in
+  let young_arg =
+    let doc = "Young generation size in megabytes." in
+    Arg.(value & opt int 5734 & info [ "young" ] ~docv:"MB" ~doc)
+  in
+  let iterations_arg =
+    Arg.(value & opt int 10 & info [ "n"; "iterations" ] ~doc:"Iterations.")
+  in
+  let sysgc_arg =
+    Arg.(value & flag & info [ "system-gc" ] ~doc:"Force a full GC between iterations.")
+  in
+  let tlab_off_arg =
+    Arg.(value & flag & info [ "no-tlab" ] ~doc:"Disable TLABs.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every GC event.")
+  in
+  let run bench gc heap young iterations system_gc no_tlab verbose =
+    let kind =
+      match Gcperf_gc.Gc_config.kind_of_string gc with
+      | Some k -> k
+      | None ->
+          Printf.eprintf "unknown collector %S\n" gc;
+          exit 1
+    in
+    let b =
+      match Gcperf_dacapo.Suite.find bench with
+      | Some b -> b
+      | None ->
+          Printf.eprintf "unknown benchmark %S; try `gcperf suite`\n" bench;
+          exit 1
+    in
+    let mb = 1024 * 1024 in
+    let config =
+      {
+        (Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
+           ~young_bytes:(young * mb))
+        with
+        Gcperf_gc.Gc_config.tlab = not no_tlab;
+      }
+    in
+    let machine = Gcperf_machine.Machine.paper_server () in
+    let r =
+      Gcperf_dacapo.Harness.run ~iterations machine b ~gc:config ~system_gc ()
+    in
+    if r.Gcperf_dacapo.Harness.crashed then print_endline "benchmark crashed"
+    else begin
+      Array.iteri
+        (fun i s ->
+          Printf.printf
+            "iteration %2d: %8.3f s  (%d pauses, %.3f s paused, %d MB allocated)\n"
+            (i + 1)
+            s.Gcperf_workload.Mutator.duration_s
+            s.Gcperf_workload.Mutator.pauses
+            s.Gcperf_workload.Mutator.pause_s
+            (s.Gcperf_workload.Mutator.allocated_bytes / mb))
+        r.Gcperf_dacapo.Harness.iterations;
+      Printf.printf "total: %.3f s   final iteration: %.3f s%s\n"
+        r.Gcperf_dacapo.Harness.total_s r.Gcperf_dacapo.Harness.final_s
+        (if r.Gcperf_dacapo.Harness.oom then "  [OOM]" else "");
+      if verbose then
+        List.iter
+          (fun e ->
+            Format.printf "%a@." Gcperf_sim.Gc_event.pp_event e)
+          r.Gcperf_dacapo.Harness.events
+      else begin
+        let n = List.length r.Gcperf_dacapo.Harness.events in
+        let total =
+          List.fold_left
+            (fun a e -> a +. (e.Gcperf_sim.Gc_event.duration_us /. 1e6))
+            0.0 r.Gcperf_dacapo.Harness.events
+        in
+        Printf.printf "gc: %d pauses, %.3f s total pause time\n" n total
+      end
+    end
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run $ bench_arg $ gc_arg $ heap_arg $ young_arg $ iterations_arg
+      $ sysgc_arg $ tlab_off_arg $ verbose_arg)
+
+(* --- suite --------------------------------------------------------- *)
+
+let suite_cmd =
+  let doc = "Describe the DaCapo-like benchmark suite." in
+  let run () =
+    List.iter
+      (fun b ->
+        let p = b.Gcperf_dacapo.Suite.profile in
+        Printf.printf "%-10s %s%s\n" p.Gcperf_workload.Profile.name
+          b.Gcperf_dacapo.Suite.description
+          (if b.Gcperf_dacapo.Suite.crashes then " [crashes]" else ""))
+      Gcperf_dacapo.Suite.all;
+    Printf.printf "\nstable subset: %s\n"
+      (String.concat ", " Gcperf_dacapo.Suite.stable_names)
+  in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
+
+(* --- all ----------------------------------------------------------- *)
+
+let all_cmd =
+  let doc = "Run every experiment and print all artifacts in order." in
+  let run quick =
+    List.iter
+      (fun id ->
+        match Gcperf.Experiments.by_name id with
+        | None -> ()
+        | Some f ->
+            Printf.printf "==== %s ====\n%s\n%!" id (f ~quick))
+      Gcperf.Experiments.all_names
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+
+let main =
+  let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in
+  let info = Cmd.info "gcperf" ~version:"1.0.0" ~doc in
+  Cmd.group info [ list_cmd; run_cmd; bench_cmd; suite_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

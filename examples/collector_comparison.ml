@@ -1,0 +1,58 @@
+(* Collector bake-off: run the whole stable DaCapo subset under all six
+   collectors and rank them by total execution time — a small version of
+   the campaign behind the paper's Figure 3.
+
+   Run with:  dune exec examples/collector_comparison.exe *)
+
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module Harness = Gcperf_dacapo.Harness
+module Suite = Gcperf_dacapo.Suite
+module Chart = Gcperf_report.Chart
+module P = Gcperf_workload.Profile
+
+let () =
+  let machine = Machine.paper_server () in
+  List.iter
+    (fun system_gc ->
+      Printf.printf "=== system GC between iterations: %b ===\n" system_gc;
+      let totals = Hashtbl.create 8 in
+      let wins = Hashtbl.create 8 in
+      List.iter
+        (fun bench ->
+          let runs =
+            List.map
+              (fun kind ->
+                let gc = Gc_config.baseline kind in
+                ( Gc_config.kind_to_string kind,
+                  Harness.run ~iterations:6 machine bench ~gc ~system_gc () ))
+              Gc_config.all_kinds
+          in
+          List.iter
+            (fun (name, r) ->
+              Hashtbl.replace totals name
+                (r.Harness.total_s
+                +. Option.value ~default:0.0 (Hashtbl.find_opt totals name)))
+            runs;
+          match Harness.best_of (List.map snd runs) with
+          | None -> ()
+          | Some best ->
+              let w = best.Harness.gc_name in
+              Printf.printf "  %-8s fastest: %s (%.2f s)\n"
+                bench.Suite.profile.P.name w best.Harness.total_s;
+              Hashtbl.replace wins w
+                (1 + Option.value ~default:0 (Hashtbl.find_opt wins w)))
+        Suite.stable_subset;
+      let entries =
+        List.map
+          (fun kind ->
+            let name = Gc_config.kind_to_string kind in
+            (name, Option.value ~default:0.0 (Hashtbl.find_opt totals name)))
+          Gc_config.all_kinds
+      in
+      print_newline ();
+      print_string
+        (Chart.bars ~title:"total execution time across the subset (s)"
+           (List.sort (fun (_, a) (_, b) -> compare a b) entries));
+      print_newline ())
+    [ true; false ]

@@ -1,0 +1,53 @@
+(* Quickstart: simulate one DaCapo-like benchmark on the paper's 48-core
+   server under two collectors and compare their GC logs.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module Harness = Gcperf_dacapo.Harness
+module Suite = Gcperf_dacapo.Suite
+module Gc_event = Gcperf_sim.Gc_event
+
+let () =
+  (* 1. The machine: 48 cores, 4 sockets, 8 NUMA nodes, 64 GB RAM. *)
+  let machine = Machine.paper_server () in
+  Format.printf "%a@.@." Machine.pp machine;
+
+  (* 2. The benchmark: xalan, the paper's pause-time example. *)
+  let bench =
+    match Suite.find "xalan" with Some b -> b | None -> assert false
+  in
+
+  (* 3. Run it for 10 iterations under ParallelOld and G1, with the
+     DaCapo-style forced full collection between iterations. *)
+  List.iter
+    (fun kind ->
+      let gc = Gc_config.baseline kind in
+      let result = Harness.run machine bench ~gc ~system_gc:true () in
+      Printf.printf "%s\n" result.Harness.gc_name;
+      Printf.printf "  total execution time: %.2f s\n" result.Harness.total_s;
+      Printf.printf "  final iteration:      %.2f s\n" result.Harness.final_s;
+      let events = result.Harness.events in
+      Printf.printf "  stop-the-world pauses: %d (%.2f s total)\n"
+        (List.length events)
+        (List.fold_left
+           (fun acc e -> acc +. (e.Gc_event.duration_us /. 1e6))
+           0.0 events);
+      (* The three longest pauses, like a gc.log analysis would show. *)
+      let sorted =
+        List.sort
+          (fun a b -> compare b.Gc_event.duration_us a.Gc_event.duration_us)
+          events
+      in
+      List.iteri
+        (fun i e ->
+          if i < 3 then
+            Printf.printf "    %5.2f s %-12s at t=%.1fs (%s)\n"
+              (e.Gc_event.duration_us /. 1e6)
+              (Gc_event.pause_kind_to_string e.Gc_event.kind)
+              (e.Gc_event.start_us /. 1e6)
+              e.Gc_event.reason)
+        sorted;
+      print_newline ())
+    [ Gc_config.ParallelOld; Gc_config.G1 ]

@@ -1,0 +1,77 @@
+(* Client-server latency study in miniature: run the key-value store
+   under a collector of your choice, then replay a YCSB-like client
+   against the server's pause timeline and report the latency statistics
+   of the paper's Tables 5-7.
+
+   Run with:  dune exec examples/server_latency.exe [-- cms|g1|parallelold]  *)
+
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module Vm = Gcperf_runtime.Vm
+module Server = Gcperf_kvstore.Server
+module Client = Gcperf_ycsb.Client
+module Gc_event = Gcperf_sim.Gc_event
+module Stats = Gcperf_stats.Stats
+
+let () =
+  let kind =
+    if Array.length Sys.argv > 1 then
+      match Gc_config.kind_of_string Sys.argv.(1) with
+      | Some k -> k
+      | None ->
+          Printf.eprintf "unknown collector %s\n" Sys.argv.(1);
+          exit 1
+    else Gc_config.Cms
+  in
+  let machine = Machine.paper_server () in
+  (* A scaled-down stressed server: 8 GB heap, 20 virtual minutes. *)
+  let gc =
+    Gc_config.default kind ~heap_bytes:(Gc_config.gb 8)
+      ~young_bytes:(Gc_config.mb 1536)
+  in
+  let vm = Vm.create machine gc ~seed:7 in
+  let server =
+    Server.create vm
+      (Server.stress_config ~heap_bytes:gc.Gc_config.heap_bytes)
+      ~seed:11
+  in
+  Server.replay_commitlog server ~target_bytes:(Gc_config.gb 3);
+  Printf.printf "replayed %d MB into the cache (%.0f virtual s)\n"
+    (Server.memtable_bytes server / (1024 * 1024))
+    (Vm.now_s vm);
+  Server.run server ~duration_s:1200.0 ~ops_per_s:1500.0 ~read_frac:0.88
+    ~insert_frac:0.02;
+  let events = Vm.events vm in
+  Printf.printf "server: %d ops, %d STW pauses, max pause %.2f s\n"
+    (Server.operations server)
+    (Gc_event.count events) (Gc_event.max_pause_s events);
+
+  (* Client side: Poisson arrivals against the pause timeline. *)
+  let workload =
+    {
+      Client.paper_workload with
+      Client.duration_s = Vm.now_s vm;
+      ops_per_s = 300.0;
+    }
+  in
+  let points =
+    Client.run workload
+      ~pauses:(Gc_event.intervals events)
+      ~db_timeline:(Server.db_size_timeline server)
+      ~seed:13
+  in
+  let show kind_name kind =
+    let r = Client.report points ~kind in
+    Printf.printf "%s: avg %.3f ms, max %.3f ms, min %.3f ms\n" kind_name
+      r.Stats.avg_ms r.Stats.max_ms r.Stats.min_ms;
+    Printf.printf "  %-16s %%reqs %6.2f   %%GC-correlated %6.1f\n"
+      r.Stats.around_avg.Stats.label r.Stats.around_avg.Stats.pct_requests
+      r.Stats.around_avg.Stats.pct_gc;
+    List.iter
+      (fun b ->
+        Printf.printf "  %-16s %%reqs %6.3f   %%GC-correlated %6.1f\n"
+          b.Stats.label b.Stats.pct_requests b.Stats.pct_gc)
+      r.Stats.above
+  in
+  show "READ" Client.Read;
+  show "UPDATE" Client.Update

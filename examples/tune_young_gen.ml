@@ -1,0 +1,61 @@
+(* Young-generation tuning study: how does the young-generation size
+   change pause counts and durations for a fixed heap?
+
+   This is the experiment behind the paper's Table 3 (and its surprising
+   finding that, for CMS and ParNew, a smaller young generation can mean
+   a *longer* average pause).
+
+   Run with:  dune exec examples/tune_young_gen.exe *)
+
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module Harness = Gcperf_dacapo.Harness
+module Suite = Gcperf_dacapo.Suite
+module Gc_event = Gcperf_sim.Gc_event
+module Table = Gcperf_report.Table
+
+let gb = Gc_config.gb
+let mb = Gc_config.mb
+
+let () =
+  let machine = Machine.paper_server () in
+  let bench = match Suite.find "h2" with Some b -> b | None -> assert false in
+  let heap = gb 8 in
+  let youngs = [ mb 512; gb 1; gb 2; gb 4 ] in
+  List.iter
+    (fun kind ->
+      let table =
+        Table.create
+          ~columns:
+            [
+              ("Young size", Table.Right);
+              ("#pauses", Table.Right);
+              ("avg pause (s)", Table.Right);
+              ("total pause (s)", Table.Right);
+              ("total time (s)", Table.Right);
+            ]
+      in
+      List.iter
+        (fun young ->
+          let gc = Gc_config.default kind ~heap_bytes:heap ~young_bytes:young in
+          let r = Harness.run machine bench ~gc ~system_gc:false () in
+          let n = List.length r.Harness.events in
+          let total_pause =
+            List.fold_left
+              (fun acc e -> acc +. (e.Gc_event.duration_us /. 1e6))
+              0.0 r.Harness.events
+          in
+          Table.add_row table
+            [
+              Printf.sprintf "%d MB" (young / mb 1);
+              string_of_int n;
+              (if n = 0 then "-"
+               else Table.cell_f (total_pause /. float_of_int n));
+              Table.cell_f total_pause;
+              Table.cell_f r.Harness.total_s;
+            ])
+        youngs;
+      Printf.printf "h2, 8 GB heap, %s\n%s\n"
+        (Gc_config.kind_to_string kind)
+        (Table.render table))
+    [ Gc_config.ParallelOld; Gc_config.Cms ]

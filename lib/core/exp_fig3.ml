@@ -1,0 +1,81 @@
+module Harness = Gcperf_dacapo.Harness
+module Suite = Gcperf_dacapo.Suite
+module Chart = Gcperf_report.Chart
+
+type ranking = (string * float) list
+
+type result = {
+  with_system_gc : ranking;
+  without_system_gc : ranking;
+  experiments : int;
+}
+
+let kind_index kind =
+  let rec find i = function
+    | [] -> 0
+    | k :: tl -> if k = kind then i else find (i + 1) tl
+  in
+  find 0 Exp_common.all_kinds
+
+let run ?(quick = false) () =
+  let machine = Exp_common.machine () in
+  let iterations = Exp_common.scaled ~quick 10 in
+  let grid = Exp_common.size_grid () in
+  let grid = if quick then [ List.hd grid ] else grid in
+  let benches = Suite.stable_subset in
+  let mode system_gc =
+    let wins = Hashtbl.create 8 in
+    let experiments = ref 0 in
+    List.iter
+      (fun bench ->
+        List.iter
+          (fun (heap, young) ->
+            incr experiments;
+            let runs =
+              List.map
+                (fun kind ->
+                  let gc = Exp_common.config kind ~heap ~young () in
+                  (* Every (benchmark, sizes, collector) run is a separate
+                     noisy execution, as in the study: close races are
+                     decided by run-to-run variation, not by list order. *)
+                  Harness.run
+                    ~seed:(Exp_common.seed + (37 * kind_index kind))
+                    ~iterations machine bench ~gc ~system_gc ())
+                Exp_common.all_kinds
+            in
+            match Harness.best_of runs with
+            | None -> ()
+            | Some best ->
+                let k = best.Harness.gc_name in
+                Hashtbl.replace wins k
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt wins k)))
+          grid)
+      benches;
+    let total = float_of_int !experiments in
+    let ranking =
+      List.filter_map
+        (fun kind ->
+          let name = Exp_common.kind_name kind in
+          match Hashtbl.find_opt wins name with
+          | None -> Some (name, 0.0)
+          | Some n -> Some (name, 100.0 *. float_of_int n /. total))
+        Exp_common.all_kinds
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    (ranking, !experiments)
+  in
+  let with_sys, n = mode true in
+  let without_sys, _ = mode false in
+  { with_system_gc = with_sys; without_system_gc = without_sys; experiments = n }
+
+let render result =
+  let part title ranking =
+    Chart.bars ~title (List.filter (fun (_, v) -> v >= 0.0) ranking)
+  in
+  Printf.sprintf
+    "Figure 3: GC ranking according to the number of experiments in which\n\
+     they performed the best (%d experiments per mode)\n\n%s\n%s"
+    result.experiments
+    (part "(a) System GC — percent of experiments won" result.with_system_gc)
+    (part "(b) No System GC — percent of experiments won"
+       result.without_system_gc)

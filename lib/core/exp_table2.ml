@@ -1,0 +1,67 @@
+module Harness = Gcperf_dacapo.Harness
+module Suite = Gcperf_dacapo.Suite
+module Stats = Gcperf_stats.Stats
+module Table = Gcperf_report.Table
+module P = Gcperf_workload.Profile
+
+type row = {
+  bench : string;
+  final_rsd_pct : float;
+  total_rsd_pct : float;
+  runs : int;
+}
+
+type result = { rows : row list }
+
+let run ?(quick = false) ?(all_benchmarks = false) () =
+  let machine = Exp_common.machine () in
+  let runs = Exp_common.scaled ~quick 10 in
+  let iterations = Exp_common.scaled ~quick 10 in
+  let benches =
+    if all_benchmarks then
+      List.filter (fun b -> not b.Suite.crashes) Suite.all
+    else Suite.stable_subset
+  in
+  let gc = Exp_common.baseline Gcperf_gc.Gc_config.ParallelOld in
+  let rows =
+    List.map
+      (fun bench ->
+        let results =
+          List.init runs (fun i ->
+              Harness.run ~seed:(Exp_common.seed + (1009 * i)) ~iterations
+                machine bench ~gc ~system_gc:true ())
+        in
+        let finals = Array.of_list (List.map (fun r -> r.Harness.final_s) results) in
+        let totals = Array.of_list (List.map (fun r -> r.Harness.total_s) results) in
+        {
+          bench = bench.Suite.profile.P.name;
+          final_rsd_pct = Stats.rsd finals;
+          total_rsd_pct = Stats.rsd totals;
+          runs;
+        })
+      benches
+  in
+  { rows }
+
+let render result =
+  let t =
+    Table.create
+      ~columns:
+        [
+          ("Benchmark", Table.Left);
+          ("Final iteration (%)", Table.Right);
+          ("Total execution time (%)", Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.bench;
+          Table.cell_f ~decimals:1 r.final_rsd_pct;
+          Table.cell_f ~decimals:1 r.total_rsd_pct;
+        ])
+    result.rows;
+  "Table 2: relative standard deviation of the total execution time and\n\
+   final iteration (baseline configuration, system GC between iterations)\n\n"
+  ^ Table.render t

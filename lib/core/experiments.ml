@@ -1,0 +1,66 @@
+let table2 ?(quick = false) () = Exp_table2.render (Exp_table2.run ~quick ())
+
+let table3 ?(quick = false) () = Exp_table3.render (Exp_table3.run ~quick ())
+
+let table4 ?(quick = false) () = Exp_table4.render (Exp_table4.run ~quick ())
+
+let xalan_memo : (bool * Exp_xalan.result) option ref = ref None
+
+(* Figures 1 and 2 come from the same campaign; share the runs. *)
+let xalan ~quick =
+  match !xalan_memo with
+  | Some (q, r) when q = quick -> r
+  | _ ->
+      let r = Exp_xalan.run ~quick () in
+      xalan_memo := Some (quick, r);
+      r
+
+let figure1 ?(quick = false) () = Exp_xalan.render_figure1 (xalan ~quick)
+
+let figure2 ?(quick = false) () = Exp_xalan.render_figure2 (xalan ~quick)
+
+let figure3 ?(quick = false) () = Exp_fig3.render (Exp_fig3.run ~quick ())
+
+let figure4 ?(quick = false) () =
+  Exp_server.render_figure4 (Exp_server.figure4 ~quick ())
+
+let client_memo : (bool * Exp_client.result) option ref = ref None
+
+let client ~quick =
+  match !client_memo with
+  | Some (q, r) when q = quick -> r
+  | _ ->
+      let r = Exp_client.run ~quick () in
+      client_memo := Some (quick, r);
+      r
+
+let figure5 ?(quick = false) () = Exp_client.render_figure5 (client ~quick)
+
+let tables567 ?(quick = false) () = Exp_client.render_tables567 (client ~quick)
+
+let table8 ?(quick = false) () = Exp_table8.render (Exp_table8.run ~quick ())
+
+let server_parallel_old ?(quick = false) () =
+  Exp_server.render_parallel_old (Exp_server.parallel_old_analysis ~quick ())
+
+let ablation ?(quick = false) () = Exp_ablation.render (Exp_ablation.run ~quick ())
+
+let runners =
+  [
+    ("table2", fun ~quick -> table2 ~quick ());
+    ("table3", fun ~quick -> table3 ~quick ());
+    ("table4", fun ~quick -> table4 ~quick ());
+    ("fig1", fun ~quick -> figure1 ~quick ());
+    ("fig2", fun ~quick -> figure2 ~quick ());
+    ("fig3", fun ~quick -> figure3 ~quick ());
+    ("fig4", fun ~quick -> figure4 ~quick ());
+    ("fig5", fun ~quick -> figure5 ~quick ());
+    ("table567", fun ~quick -> tables567 ~quick ());
+    ("table8", fun ~quick -> table8 ~quick ());
+    ("server-po", fun ~quick -> server_parallel_old ~quick ());
+    ("ablation", fun ~quick -> ablation ~quick ());
+  ]
+
+let all_names = List.map fst runners
+
+let by_name name = List.assoc_opt name runners

@@ -1,0 +1,23 @@
+(** Umbrella: every table and figure of the study, by name.
+
+    Each runner executes its campaign and returns the rendered plain-text
+    artifact.  [quick] scales iteration/run counts down (used by the test
+    suite); the full configuration reproduces the paper's setup. *)
+
+val table2 : ?quick:bool -> unit -> string
+val table3 : ?quick:bool -> unit -> string
+val table4 : ?quick:bool -> unit -> string
+val figure1 : ?quick:bool -> unit -> string
+val figure2 : ?quick:bool -> unit -> string
+val figure3 : ?quick:bool -> unit -> string
+val figure4 : ?quick:bool -> unit -> string
+val figure5 : ?quick:bool -> unit -> string
+val tables567 : ?quick:bool -> unit -> string
+val table8 : ?quick:bool -> unit -> string
+val server_parallel_old : ?quick:bool -> unit -> string
+val ablation : ?quick:bool -> unit -> string
+
+val all_names : string list
+(** Experiment ids accepted by {!by_name}. *)
+
+val by_name : string -> (quick:bool -> string) option

@@ -1,0 +1,169 @@
+module P = Gcperf_workload.Profile
+
+type bench = { profile : P.t; crashes : bool; description : string }
+
+let mb n = n * 1024 * 1024
+let mbf x = int_of_float (x *. 1024.0 *. 1024.0)
+let kb n = n * 1024
+
+let lifetime ~short ~short_mb ~medium ~medium_mb ~iter ~perm =
+  {
+    P.short_frac = short;
+    short_mean_bytes = float_of_int (mbf short_mb);
+    medium_frac = medium;
+    medium_mean_bytes = float_of_int (mbf medium_mb);
+    iteration_frac = iter;
+    permanent_frac = perm;
+  }
+
+let make ~name ~threading ~alloc_mb ~cpu_s ~mean_kb ~life ~live_mb
+    ?(locality = 0.3) ?(update = 0.015) ~noise ?(sawtooth = 0) ?(crashes = false)
+    ~description () =
+  let profile =
+    {
+      P.name;
+      threading;
+      iteration_alloc_bytes = mb alloc_mb;
+      iteration_cpu_s = cpu_s;
+      size = { P.mean_bytes = kb mean_kb; sigma = 0.6 };
+      lifetime = life;
+      startup_live_bytes = mb live_mb;
+      ref_locality = locality;
+      update_store_prob = update;
+      phase_noise = noise;
+      sawtooth;
+    }
+  in
+  (match P.validate profile with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Suite.make: " ^ e));
+  { profile; crashes; description }
+
+(* Thread structure follows the paper's §2.1 description; allocation
+   volumes and live sets reflect the 2009-era footprints that left a
+   16 GB baseline heap mostly idle. *)
+let all =
+  [
+    make ~name:"avrora" ~threading:(P.Fixed 6) ~alloc_mb:350 ~cpu_s:5.5
+      ~mean_kb:64
+      ~life:
+        (lifetime ~short:0.85 ~short_mb:8.0 ~medium:0.08 ~medium_mb:150.0
+           ~iter:0.05 ~perm:0.002)
+      ~live_mb:60 ~noise:0.16
+      ~description:
+        "single external thread, internally multi-threaded; iteration \
+         times vary too much for the stable subset"
+      ();
+    make ~name:"batik" ~threading:P.Single ~alloc_mb:250 ~cpu_s:1.6 ~mean_kb:96
+      ~life:
+        (lifetime ~short:0.80 ~short_mb:10.0 ~medium:0.10 ~medium_mb:120.0
+           ~iter:0.08 ~perm:0.004)
+      ~live_mb:90 ~noise:0.10
+      ~description:
+        "mostly single-threaded; small footprint (no collections at the \
+         baseline heap without a system GC); noisy final iterations"
+      ();
+    make ~name:"eclipse" ~threading:(P.Fixed 4) ~alloc_mb:700 ~cpu_s:6.0
+      ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.75 ~short_mb:12.0 ~medium:0.12 ~medium_mb:250.0
+           ~iter:0.08 ~perm:0.005)
+      ~live_mb:160 ~noise:0.08 ~crashes:true
+      ~description:"crashed on every test in the study" ();
+    make ~name:"fop" ~threading:P.Single ~alloc_mb:120 ~cpu_s:0.7 ~mean_kb:64
+      ~life:
+        (lifetime ~short:0.82 ~short_mb:8.0 ~medium:0.08 ~medium_mb:80.0
+           ~iter:0.06 ~perm:0.003)
+      ~live_mb:40 ~noise:0.09
+      ~description:"single-threaded; excluded from the stable subset" ();
+    make ~name:"h2" ~threading:P.Per_hw_thread ~alloc_mb:1100 ~cpu_s:17.5
+      ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.55 ~short_mb:15.0 ~medium:0.08 ~medium_mb:450.0
+           ~iter:0.06 ~perm:0.001)
+      ~live_mb:45 ~locality:0.35 ~update:0.01 ~noise:0.014 ~sawtooth:4
+      ~description:
+        "in-memory database, one client thread per hardware thread; \
+         transactional sawtooth working set (Table 3 subject)"
+      ();
+    make ~name:"jython" ~threading:P.Per_hw_thread ~alloc_mb:800 ~cpu_s:2.6
+      ~mean_kb:96
+      ~life:
+        (lifetime ~short:0.82 ~short_mb:10.0 ~medium:0.08 ~medium_mb:200.0
+           ~iter:0.06 ~perm:0.003)
+      ~live_mb:70 ~noise:0.045
+      ~description:"python interpreter, one internal thread per hw thread" ();
+    make ~name:"luindex" ~threading:(P.Fixed 3) ~alloc_mb:300 ~cpu_s:1.9
+      ~mean_kb:96
+      ~life:
+        (lifetime ~short:0.80 ~short_mb:10.0 ~medium:0.10 ~medium_mb:150.0
+           ~iter:0.06 ~perm:0.005)
+      ~live_mb:55 ~noise:0.035
+      ~description:"indexer with a few helper threads of limited concurrency"
+      ();
+    make ~name:"lusearch" ~threading:P.Per_hw_thread ~alloc_mb:2200 ~cpu_s:1.6
+      ~mean_kb:64
+      ~life:
+        (lifetime ~short:0.92 ~short_mb:6.0 ~medium:0.04 ~medium_mb:80.0
+           ~iter:0.02 ~perm:0.001)
+      ~live_mb:35 ~noise:0.11
+      ~description:
+        "search, one client thread per hardware thread; allocation-heavy \
+         and too noisy for the stable subset"
+      ();
+    make ~name:"pmd" ~threading:P.Per_hw_thread ~alloc_mb:600 ~cpu_s:2.3
+      ~mean_kb:96
+      ~life:
+        (lifetime ~short:0.78 ~short_mb:10.0 ~medium:0.12 ~medium_mb:180.0
+           ~iter:0.07 ~perm:0.003)
+      ~live_mb:85 ~noise:0.011
+      ~description:"source analyser, one worker thread per hardware thread" ();
+    make ~name:"sunflow" ~threading:P.Per_hw_thread ~alloc_mb:1600 ~cpu_s:2.4
+      ~mean_kb:64
+      ~life:
+        (lifetime ~short:0.90 ~short_mb:8.0 ~medium:0.05 ~medium_mb:100.0
+           ~iter:0.03 ~perm:0.001)
+      ~live_mb:30 ~noise:0.09
+      ~description:"raytracer, render thread per hardware thread; unstable" ();
+    make ~name:"tomcat" ~threading:P.Per_hw_thread ~alloc_mb:900 ~cpu_s:2.9
+      ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.75 ~short_mb:12.0 ~medium:0.12 ~medium_mb:250.0
+           ~iter:0.09 ~perm:0.004)
+      ~live_mb:110 ~noise:0.017 ~sawtooth:2
+      ~description:"web server, one client thread per hardware thread" ();
+    make ~name:"tradebeans" ~threading:P.Per_hw_thread ~alloc_mb:1200
+      ~cpu_s:5.0 ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.70 ~short_mb:12.0 ~medium:0.15 ~medium_mb:400.0
+           ~iter:0.10 ~perm:0.004)
+      ~live_mb:200 ~noise:0.06 ~crashes:true
+      ~description:"crashed on every test in the study" ();
+    make ~name:"tradesoap" ~threading:P.Per_hw_thread ~alloc_mb:1400
+      ~cpu_s:5.5 ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.70 ~short_mb:12.0 ~medium:0.15 ~medium_mb:400.0
+           ~iter:0.10 ~perm:0.004)
+      ~live_mb:220 ~noise:0.06 ~crashes:true
+      ~description:"crashed on every test in the study" ();
+    make ~name:"xalan" ~threading:P.Per_hw_thread ~alloc_mb:3600 ~cpu_s:1.5
+      ~mean_kb:128
+      ~life:
+        (lifetime ~short:0.85 ~short_mb:12.0 ~medium:0.07 ~medium_mb:300.0
+           ~iter:0.05 ~perm:0.002)
+      ~live_mb:65 ~update:0.02 ~noise:0.05
+      ~description:
+        "XSLT processor, one client thread per hardware thread; the \
+         paper's pause-time example (Figures 1 and 2)"
+      ();
+  ]
+
+let find name =
+  List.find_opt (fun b -> b.profile.P.name = name) all
+
+let names = List.map (fun b -> b.profile.P.name) all
+
+let stable_names = [ "h2"; "tomcat"; "xalan"; "jython"; "pmd"; "luindex"; "batik" ]
+
+let stable_subset =
+  List.filter (fun b -> List.mem b.profile.P.name stable_names) all

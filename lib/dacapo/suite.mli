@@ -1,0 +1,30 @@
+(** The DaCapo-2009-like benchmark suite.
+
+    Fourteen synthetic mutators whose thread structure follows the
+    paper's §2.1 description verbatim (which benchmarks are externally /
+    internally multi-threaded) and whose allocation profiles are
+    calibrated so the study's observations reproduce: the 2009-era
+    memory footprints are small relative to a 16 GB server heap, three
+    benchmarks crash, and the rest split into a stable subset (Table 2)
+    and an unstable remainder. *)
+
+type bench = {
+  profile : Gcperf_workload.Profile.t;
+  crashes : bool;
+      (** eclipse, tradebeans and tradesoap crashed on every test in the
+          paper; we preserve that behaviour *)
+  description : string;
+}
+
+val all : bench list
+(** All 14 benchmarks, alphabetical. *)
+
+val find : string -> bench option
+
+val names : string list
+
+val stable_subset : bench list
+(** The paper's Table 2 subset: h2, tomcat, xalan, jython, pmd, luindex,
+    batik. *)
+
+val stable_names : string list

@@ -1,0 +1,40 @@
+(** First-class collector interface.
+
+    A collector owns its heap layout and exposes exactly the operations
+    the runtime needs: allocate (collecting as required), honour a
+    [System.gc()] request, make progress on concurrent phases as virtual
+    time passes, report how much it is currently slowing the mutator
+    down, and maintain remembered sets on reference writes. *)
+
+type t = {
+  name : string;
+  kind : Gc_config.kind;
+  alloc : size:int -> int;
+      (** Allocates an object, running young/full collections as needed.
+          @raise Gc_ctx.Out_of_memory when even a full GC cannot make
+          room. *)
+  alloc_old : size:int -> int;
+      (** Allocates directly in the old generation (tenured/old regions):
+          bulk cache rebuilds and slab-allocated stores install long-lived
+          data without churning the young generation.
+          @raise Gc_ctx.Out_of_memory as for [alloc]. *)
+  system_gc : unit -> unit;
+      (** Forced full stop-the-world collection (DaCapo's inter-iteration
+          System.gc()). *)
+  tick : dt_us:float -> unit;
+      (** Advance concurrent work (CMS marking/sweeping, G1 marking) by
+          [dt_us] of virtual time. *)
+  mutator_factor : unit -> float;
+      (** >= 1; how much concurrent GC activity currently dilates mutator
+          work (cores stolen by concurrent GC threads). *)
+  write_ref : parent:int -> child:int -> unit;
+      (** Reference store with the collector's write barrier. *)
+  remove_ref : parent:int -> child:int -> unit;
+  heap_used : unit -> int;
+  heap_capacity : unit -> int;
+  young_used : unit -> int;
+  old_used : unit -> int;
+      (** for G1: old + humongous regions *)
+  store : Gcperf_heap.Obj_store.t;
+  check_invariants : unit -> (unit, string) result;
+}

@@ -1,0 +1,71 @@
+type kind = Serial | ParNew | Parallel | ParallelOld | Cms | G1
+
+let all_kinds = [ Serial; ParNew; Parallel; ParallelOld; Cms; G1 ]
+
+let kind_to_string = function
+  | Serial -> "SerialGC"
+  | ParNew -> "ParNewGC"
+  | Parallel -> "ParallelGC"
+  | ParallelOld -> "ParallelOldGC"
+  | Cms -> "ConcMarkSweepGC"
+  | G1 -> "G1GC"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "serial" | "serialgc" -> Some Serial
+  | "parnew" | "parnewgc" -> Some ParNew
+  | "parallel" | "parallelgc" -> Some Parallel
+  | "parallelold" | "paralleloldgc" -> Some ParallelOld
+  | "cms" | "concmarksweep" | "concmarksweepgc" | "concurrentmarksweep" ->
+      Some Cms
+  | "g1" | "g1gc" -> Some G1
+  | _ -> None
+
+type t = {
+  kind : kind;
+  heap_bytes : int;
+  young_bytes : int;
+  tlab : bool;
+  tlab_bytes : int;
+  survivor_ratio : int;
+  tenuring_threshold : int;
+  cms_initiating_occupancy : float;
+  g1_ihop : float;
+  g1_pause_target_ms : float;
+  g1_region_target : int;
+  g1_parallel_full : bool;
+}
+
+let kb = 1024
+let mb n = n * 1024 * 1024
+let gb n = n * 1024 * 1024 * 1024
+
+let default kind ~heap_bytes ~young_bytes =
+  if young_bytes > heap_bytes then
+    invalid_arg "Gc_config.default: young generation larger than heap";
+  {
+    kind;
+    heap_bytes;
+    young_bytes;
+    tlab = true;
+    tlab_bytes = 256 * kb;
+    survivor_ratio = 8;
+    tenuring_threshold = 6;
+    cms_initiating_occupancy = 0.70;
+    g1_ihop = 0.45;
+    g1_pause_target_ms = 200.0;
+    g1_region_target = 1024;
+    g1_parallel_full = false;
+  }
+
+(* The study's baseline: ParallelOld defaults on the 64 GB machine —
+   ~16 GB max heap, ~5.6 GB young generation. *)
+let baseline kind =
+  default kind ~heap_bytes:(gb 16) ~young_bytes:(mb 5734)
+
+let pp ppf t =
+  Format.fprintf ppf "%s heap=%dMB young=%dMB tlab=%b"
+    (kind_to_string t.kind)
+    (t.heap_bytes / (1024 * 1024))
+    (t.young_bytes / (1024 * 1024))
+    t.tlab

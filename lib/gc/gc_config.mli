@@ -1,0 +1,50 @@
+(** Collector selection and VM memory configuration.
+
+    Mirrors the JVM flags the paper varies: [-XX:+Use...GC], [-Xmx]/[-Xms]
+    (fixed-size heap), [-Xmn] (young generation size), TLAB on/off, and the
+    collector-specific tunables that matter for the study (CMS initiating
+    occupancy, G1 pause target and IHOP). *)
+
+type kind = Serial | ParNew | Parallel | ParallelOld | Cms | G1
+
+val all_kinds : kind list
+(** In the paper's Table 1 order. *)
+
+val kind_to_string : kind -> string
+(** JVM-style names: "SerialGC", "ParNewGC", ..., "G1GC". *)
+
+val kind_of_string : string -> kind option
+(** Accepts both JVM-style ("ConcMarkSweepGC") and short ("cms") names. *)
+
+type t = {
+  kind : kind;
+  heap_bytes : int;  (** fixed heap size (-Xms = -Xmx, as in the study) *)
+  young_bytes : int;  (** young generation size (-Xmn) *)
+  tlab : bool;
+  tlab_bytes : int;  (** per-thread TLAB size *)
+  survivor_ratio : int;
+  tenuring_threshold : int;
+  cms_initiating_occupancy : float;
+      (** old-gen occupancy fraction that starts a CMS cycle *)
+  g1_ihop : float;  (** heap occupancy fraction that starts G1 marking *)
+  g1_pause_target_ms : float;
+  g1_region_target : int;  (** desired number of regions *)
+  g1_parallel_full : bool;
+      (** ablation switch: run G1's full collection on the parallel
+          workers instead of JDK8's single thread (JDK10's behaviour);
+          default false, i.e. faithful to the paper's JVM *)
+}
+
+val default : kind -> heap_bytes:int -> young_bytes:int -> t
+(** JDK8-like defaults for everything else (TLAB on, 256 KB TLABs,
+    SurvivorRatio 8, MaxTenuringThreshold 6, CMS occupancy 0.70,
+    G1 IHOP 0.45, 200 ms pause target). *)
+
+val gb : int -> int
+val mb : int -> int
+
+val baseline : kind -> t
+(** The study's baseline: ~16 GB heap, ~5.6 GB young generation, TLAB
+    enabled. *)
+
+val pp : Format.formatter -> t -> unit

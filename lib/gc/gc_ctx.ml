@@ -1,0 +1,34 @@
+exception Out_of_memory of string
+
+type t = {
+  machine : Gcperf_machine.Machine.t;
+  clock : Gcperf_sim.Clock.t;
+  events : Gcperf_sim.Gc_event.t;
+  mutable mutator_threads : int;
+  mutable iter_roots : (int -> unit) -> unit;
+}
+
+let create machine clock events =
+  { machine; clock; events; mutator_threads = 1; iter_roots = (fun _ -> ()) }
+
+let stw_begin_us t =
+  Gcperf_machine.Machine.time_to_safepoint t.machine
+    ~mutator_threads:t.mutator_threads
+
+let record_pause t ~collector ~kind ~reason ~duration_us ~young_before
+    ~young_after ~old_before ~old_after ~promoted =
+  let start_us = Gcperf_sim.Clock.now_us t.clock in
+  Gcperf_sim.Clock.advance_us t.clock duration_us;
+  Gcperf_sim.Gc_event.record t.events
+    {
+      start_us;
+      duration_us;
+      kind;
+      collector;
+      reason;
+      young_before;
+      young_after;
+      old_before;
+      old_after;
+      promoted;
+    }

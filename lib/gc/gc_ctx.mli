@@ -1,0 +1,41 @@
+(** Shared collector context.
+
+    Everything a collector needs from its environment: the machine cost
+    model, the virtual clock to charge pauses to, the event log, and a view
+    of the mutator (thread count for safepoint costs, root-set iteration
+    for tracing).  The runtime builds one of these and hands it to the
+    collector constructor. *)
+
+exception Out_of_memory of string
+(** Raised when a full collection cannot make enough room. *)
+
+type t = {
+  machine : Gcperf_machine.Machine.t;
+  clock : Gcperf_sim.Clock.t;
+  events : Gcperf_sim.Gc_event.t;
+  mutable mutator_threads : int;
+  mutable iter_roots : (int -> unit) -> unit;
+      (** iterate over all root object ids (thread stacks + globals);
+          installed by the runtime *)
+}
+
+val create :
+  Gcperf_machine.Machine.t -> Gcperf_sim.Clock.t -> Gcperf_sim.Gc_event.t -> t
+(** Fresh context with no threads and an empty root iterator. *)
+
+val stw_begin_us : t -> float
+(** Cost of bringing all mutator threads to the safepoint. *)
+
+val record_pause :
+  t ->
+  collector:string ->
+  kind:Gcperf_sim.Gc_event.pause_kind ->
+  reason:string ->
+  duration_us:float ->
+  young_before:int ->
+  young_after:int ->
+  old_before:int ->
+  old_after:int ->
+  promoted:int ->
+  unit
+(** Advances the clock across the pause and appends the event. *)

@@ -1,0 +1,718 @@
+module Vec = Gcperf_util.Vec
+module Machine = Gcperf_machine.Machine
+module Gc_event = Gcperf_sim.Gc_event
+module Os = Gcperf_heap.Obj_store
+module Rh = Gcperf_heap.Region_heap
+
+type phase = Idle | Marking of { mutable remaining_bytes : float }
+
+type state = {
+  mutable phase : phase;
+  mutable marking_allowed : bool;
+      (* one concurrent cycle per young collection: prevents back-to-back
+         cycles when occupancy stays above the threshold *)
+  mutable mixed_candidates : int list;  (* region indices, most garbage first *)
+  mutable young_target_bytes : int;
+  mutable eden_bytes : int;  (* bytes allocated young since last collection *)
+  mutable young_collections : int;
+  mutable mixed_collections : int;
+  mutable marking_cycles : int;
+  mutable evacuation_failures : int;
+}
+
+let registry : (string, state * Rh.t) Hashtbl.t = Hashtbl.create 4
+
+type debug = {
+  young_collections : int;
+  mixed_collections : int;
+  marking_cycles : int;
+  evacuation_failures : int;
+  young_target_regions : int;
+}
+
+let debug_stats (c : Collector.t) =
+  let st, rheap = Hashtbl.find registry c.Collector.name in
+  {
+    young_collections = st.young_collections;
+    mixed_collections = st.mixed_collections;
+    marking_cycles = st.marking_cycles;
+    evacuation_failures = st.evacuation_failures;
+    young_target_regions = st.young_target_bytes / rheap.Rh.region_size;
+  }
+
+let name = "G1GC"
+
+(* Per-region constant work in an evacuation pause (choosing the
+   collection set, swapping region roles, updating free lists). *)
+let region_fixed_us = 120.0
+
+let create ctx (config : Gc_config.t) =
+  let m = ctx.Gc_ctx.machine in
+  let cost = m.Machine.cost in
+  let store = Os.create () in
+  let rheap =
+    Rh.create store ~heap_bytes:config.Gc_config.heap_bytes
+      ~target_regions:config.Gc_config.g1_region_target ()
+  in
+  let st =
+    {
+      phase = Idle;
+      marking_allowed = true;
+      mixed_candidates = [];
+      young_target_bytes =
+        max rheap.Rh.region_size config.Gc_config.young_bytes;
+      eden_bytes = 0;
+      young_collections = 0;
+      mixed_collections = 0;
+      marking_cycles = 0;
+      evacuation_failures = 0;
+    }
+  in
+  Hashtbl.replace registry name (st, rheap);
+  let old_hum_used () =
+    Rh.used_of_kind rheap Rh.Old_region + Rh.used_of_kind rheap Rh.Humongous
+  in
+  let young_used () =
+    Rh.used_of_kind rheap Rh.Eden + Rh.used_of_kind rheap Rh.Survivor
+  in
+  (* Global trace over the region heap; returns marked ids. *)
+  let trace_all () =
+    let marked = Vec.create () and stack = Vec.create () in
+    let push id =
+      if Os.is_live store id then begin
+        let o = Os.get store id in
+        if not o.Os.marked then begin
+          o.Os.marked <- true;
+          Vec.push marked id;
+          Vec.push stack id
+        end
+      end
+    in
+    ctx.Gc_ctx.iter_roots push;
+    while not (Vec.is_empty stack) do
+      Vec.iter push (Os.get store (Vec.pop stack)).Os.refs
+    done;
+    marked
+  in
+  let clear_marks marked =
+    Vec.iter
+      (fun id ->
+        if Os.is_live store id then (Os.get store id).Os.marked <- false)
+      marked
+  in
+  (* Partial trace of the collection set: roots plus remembered sets.
+     Dead or irrelevant remset entries are pruned as they are scanned,
+     which is exactly the work a G1 evacuation pause pays for. *)
+  let trace_collection_set collected =
+    let marked = Vec.create () and stack = Vec.create () in
+    let remset_bytes = ref 0 in
+    let external_refs = Vec.create () in  (* (outside source, cset child) *)
+    let in_cset id =
+      match (Os.get store id).Os.loc with
+      | Os.Region r -> collected.(r)
+      | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> false
+    in
+    let push id =
+      if Os.is_live store id && in_cset id then begin
+        let o = Os.get store id in
+        if not o.Os.marked then begin
+          o.Os.marked <- true;
+          Vec.push marked id;
+          Vec.push stack id
+        end
+      end
+    in
+    ctx.Gc_ctx.iter_roots push;
+    Array.iter
+      (fun r ->
+        if collected.(r.Rh.idx) then begin
+          let stale = ref [] in
+          Hashtbl.iter
+            (fun src () ->
+              if not (Os.is_live store src) then stale := src :: !stale
+              else begin
+                let so = Os.get store src in
+                match so.Os.loc with
+                | Os.Region sr when collected.(sr) ->
+                    (* The source is itself being collected: if it is
+                       live the trace reaches it; if dead, its references
+                       die with it.  Either way the entry is obsolete. *)
+                    stale := src :: !stale
+                | Os.Region _ ->
+                    remset_bytes := !remset_bytes + so.Os.size;
+                    let relevant = ref false in
+                    Vec.iter
+                      (fun child ->
+                        if Os.is_live store child then begin
+                          match (Os.get store child).Os.loc with
+                          | Os.Region cr when cr = r.Rh.idx ->
+                              relevant := true;
+                              Vec.push external_refs (src, child);
+                              push child
+                          | _ -> ()
+                        end)
+                      so.Os.refs;
+                    if not !relevant then stale := src :: !stale
+                | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere ->
+                    stale := src :: !stale
+              end)
+            r.Rh.remset;
+          List.iter (fun s -> Hashtbl.remove r.Rh.remset s) !stale
+        end)
+      rheap.Rh.regions;
+    while not (Vec.is_empty stack) do
+      Vec.iter push (Os.get store (Vec.pop stack)).Os.refs
+    done;
+    (marked, !remset_bytes, external_refs)
+  in
+  let record ~kind ~reason ~duration ~young_before ~old_before ~promoted =
+    Gc_ctx.record_pause ctx ~collector:name ~kind ~reason ~duration_us:duration
+      ~young_before ~young_after:(young_used ()) ~old_before
+      ~old_after:(old_hum_used ()) ~promoted
+  in
+  let maybe_start_marking () =
+    match st.phase with
+    | Marking _ -> ()
+    | Idle ->
+        let occ = float_of_int (old_hum_used ()) in
+        if
+          st.marking_allowed
+          && occ > config.Gc_config.g1_ihop *. float_of_int rheap.Rh.heap_bytes
+        then begin
+          st.marking_allowed <- false;
+          st.marking_cycles <- st.marking_cycles + 1;
+          let duration =
+            Gc_ctx.stw_begin_us ctx
+            +. Machine.root_scan_us m
+                 ~mutator_threads:ctx.Gc_ctx.mutator_threads
+            +. cost.Machine.gc_fixed_us
+          in
+          let y = young_used () and o = old_hum_used () in
+          record ~kind:Gc_event.Initial_mark ~reason:"IHOP crossed" ~duration
+            ~young_before:y ~old_before:o ~promoted:0;
+          st.phase <-
+            Marking { remaining_bytes = float_of_int (old_hum_used ()) }
+        end
+  in
+  let full_gc reason =
+    (* JDK8 G1 full collections are single-threaded mark-compact; the
+       parallel variant (JDK10+) is available as an ablation switch. *)
+    let full_workers =
+      if config.Gc_config.g1_parallel_full then m.Machine.gc_threads else 1
+    in
+    let young_before = young_used () and old_before = old_hum_used () in
+    let marked = trace_all () in
+    let live = Vec.fold (fun a id -> a + (Os.get store id).Os.size) 0 marked in
+    if live > rheap.Rh.heap_bytes then begin
+      clear_marks marked;
+      raise
+        (Gc_ctx.Out_of_memory
+           (Printf.sprintf "G1: live data (%d) exceeds heap (%d)" live
+              rheap.Rh.heap_bytes))
+    end;
+    (* Collect the live movable objects; free everything else. *)
+    let movable = Vec.create () in
+    let freed = ref 0 in
+    let dead_humongous = ref [] in
+    Array.iter
+      (fun r ->
+        Rh.compact_region_objects rheap r;
+        match r.Rh.kind with
+        | Rh.Humongous ->
+            if r.Rh.hum_len > 0 then
+              Vec.iter
+                (fun id ->
+                  let o = Os.get store id in
+                  if not o.Os.marked then dead_humongous := id :: !dead_humongous)
+                r.Rh.objects
+        | Rh.Eden | Rh.Survivor | Rh.Old_region ->
+            Vec.iter
+              (fun id ->
+                let o = Os.get store id in
+                if o.Os.marked then Vec.push movable id
+                else begin
+                  freed := !freed + o.Os.size;
+                  r.Rh.used <- r.Rh.used - o.Os.size;
+                  Os.free store id
+                end)
+              r.Rh.objects
+        | Rh.Free -> ())
+      rheap.Rh.regions;
+    List.iter
+      (fun id ->
+        let o = Os.get store id in
+        freed := !freed + o.Os.size;
+        Rh.release_humongous rheap id)
+      !dead_humongous;
+    (* Slide the movable objects into freshly packed old regions.  Marks
+       double as "already moved" flags: we clear each object's mark when
+       we re-place it. *)
+    Array.iter
+      (fun r ->
+        match r.Rh.kind with
+        | Rh.Eden | Rh.Survivor | Rh.Old_region ->
+            Vec.clear r.Rh.objects;
+            Hashtbl.reset r.Rh.remset;
+            r.Rh.kind <- Rh.Free;
+            r.Rh.used <- 0;
+            r.Rh.live_bytes <- 0
+        | Rh.Humongous | Rh.Free -> ())
+      rheap.Rh.regions;
+    rheap.Rh.current_alloc <- -1;
+    let target = ref None in
+    let moved_bytes = ref 0 in
+    Vec.iter
+      (fun id ->
+        let o = Os.get store id in
+        o.Os.marked <- false;
+        (* Everything that survives a full collection is old data. *)
+        o.Os.age <- max o.Os.age config.Gc_config.tenuring_threshold;
+        moved_bytes := !moved_bytes + o.Os.size;
+        let rec place () =
+          match !target with
+          | Some r when r.Rh.used + o.Os.size <= rheap.Rh.region_size ->
+              o.Os.loc <- Os.Region r.Rh.idx;
+              r.Rh.used <- r.Rh.used + o.Os.size;
+              Vec.push r.Rh.objects id
+          | _ -> (
+              match Rh.take_free_region rheap Rh.Old_region with
+              | Some r ->
+                  target := Some r;
+                  place ()
+              | None ->
+                  raise
+                    (Gc_ctx.Out_of_memory
+                       "G1: no free region during full-GC compaction"))
+        in
+        place ())
+      movable;
+    (* Humongous marks must also be cleared. *)
+    Array.iter
+      (fun r ->
+        if r.Rh.kind = Rh.Humongous then
+          Vec.iter
+            (fun id ->
+              if Os.is_live store id then (Os.get store id).Os.marked <- false)
+            r.Rh.objects)
+      rheap.Rh.regions;
+    (* Rebuild remembered sets exactly: cross-region references only. *)
+    Os.iter_live store (fun o ->
+        Vec.iter
+          (fun child ->
+            if Os.is_live store child then begin
+              match (o.Os.loc, (Os.get store child).Os.loc) with
+              | Os.Region rp, Os.Region rc when rp <> rc ->
+                  Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset o.Os.id ()
+              | _ -> ()
+            end)
+          o.Os.refs);
+    st.eden_bytes <- 0;
+    st.mixed_candidates <- [];
+    st.phase <- Idle;
+    let duration =
+      Gc_ctx.stw_begin_us ctx
+      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+      +. cost.Machine.gc_fixed_us
+      +. Machine.phase_us m ~rate:cost.Machine.mark_rate ~workers:full_workers
+           ~bytes:live
+      +. Machine.phase_us m ~rate:cost.Machine.sweep_rate ~workers:full_workers
+           ~bytes:!freed
+      (* Region bookkeeping makes G1's serial compaction slower per byte
+         than the generational collectors' sliding compaction. *)
+      (* Sliding compaction touches the occupied old/humongous space,
+         dead data included; evacuated young costs are in [moved]. *)
+      +. (1.3
+         *. Machine.phase_us m ~rate:cost.Machine.compact_rate
+              ~workers:full_workers
+              ~bytes:(max old_before !moved_bytes))
+    in
+    record ~kind:Gc_event.Full ~reason ~duration ~young_before ~old_before
+      ~promoted:0
+  in
+  let remark_and_cleanup () =
+    let marked = trace_all () in
+    (* Liveness accounting per region. *)
+    Array.iter
+      (fun r ->
+        match r.Rh.kind with
+        | Rh.Old_region | Rh.Humongous ->
+            Rh.compact_region_objects rheap r;
+            let live = ref 0 in
+            Vec.iter
+              (fun id ->
+                let o = Os.get store id in
+                if o.Os.marked then live := !live + o.Os.size)
+              r.Rh.objects;
+            r.Rh.live_bytes <- !live
+        | Rh.Eden | Rh.Survivor | Rh.Free -> ())
+      rheap.Rh.regions;
+    let y = young_used () and o = old_hum_used () in
+    let remark_duration =
+      Gc_ctx.stw_begin_us ctx
+      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+      +. cost.Machine.gc_fixed_us
+      +. Machine.phase_us m ~rate:cost.Machine.mark_rate
+           ~workers:m.Machine.gc_threads
+           ~bytes:(old_hum_used () / 12)
+    in
+    record ~kind:Gc_event.Remark ~reason:"concurrent cycle"
+      ~duration:remark_duration ~young_before:y ~old_before:o ~promoted:0;
+    (* Cleanup: instantly reclaim fully dead regions, pick mixed
+       candidates garbage-first. *)
+    let released = ref 0 in
+    let dead_humongous = ref [] in
+    Array.iter
+      (fun r ->
+        match r.Rh.kind with
+        | Rh.Old_region when r.Rh.live_bytes = 0 && r.Rh.used > 0 ->
+            Rh.release_region rheap r;
+            incr released
+        | Rh.Humongous when r.Rh.hum_len > 0 ->
+            Vec.iter
+              (fun id ->
+                let ho = Os.get store id in
+                if not ho.Os.marked then dead_humongous := id :: !dead_humongous)
+              r.Rh.objects
+        | Rh.Old_region | Rh.Humongous | Rh.Eden | Rh.Survivor | Rh.Free -> ())
+      rheap.Rh.regions;
+    List.iter (fun id -> Rh.release_humongous rheap id) !dead_humongous;
+    clear_marks marked;
+    let candidates =
+      Array.to_list rheap.Rh.regions
+      |> List.filter (fun r ->
+             r.Rh.kind = Rh.Old_region
+             && r.Rh.used > 0
+             && float_of_int r.Rh.live_bytes
+                < 0.95 *. float_of_int r.Rh.used)
+      |> List.sort (fun a b ->
+             compare
+               (float_of_int a.Rh.live_bytes /. float_of_int (max 1 a.Rh.used))
+               (float_of_int b.Rh.live_bytes /. float_of_int (max 1 b.Rh.used)))
+      |> List.map (fun r -> r.Rh.idx)
+    in
+    (* Cap the mixed backlog like HotSpot (G1MixedGCCountTarget spreads
+       candidates over ~8 mixed collections, old regions per mixed capped). *)
+    st.mixed_candidates <- candidates;
+    let y = young_used () and o = old_hum_used () in
+    let cleanup_duration =
+      Gc_ctx.stw_begin_us ctx +. cost.Machine.gc_fixed_us
+      +. (region_fixed_us *. float_of_int (max 1 !released))
+    in
+    record ~kind:Gc_event.Cleanup ~reason:"concurrent cycle"
+      ~duration:cleanup_duration ~young_before:y ~old_before:o ~promoted:0;
+    st.phase <- Idle
+  in
+  let rec young_gc reason =
+    let mixed_now =
+      match st.mixed_candidates with
+      | [] -> []
+      | l ->
+          (* HotSpot spreads candidates over several mixed collections and
+             bounds the old regions added to a single collection set. *)
+          let cap = max 1 (Array.length rheap.Rh.regions / 16) in
+          let n = min cap (max 1 (List.length l / 4)) in
+          List.filteri (fun i _ -> i < n) l
+    in
+    let collected = Array.make (Array.length rheap.Rh.regions) false in
+    let cset = ref [] in
+    Array.iter
+      (fun r ->
+        if r.Rh.kind = Rh.Eden || r.Rh.kind = Rh.Survivor then begin
+          collected.(r.Rh.idx) <- true;
+          cset := r.Rh.idx :: !cset
+        end)
+      rheap.Rh.regions;
+    List.iter
+      (fun idx ->
+        if rheap.Rh.regions.(idx).Rh.kind = Rh.Old_region then begin
+          collected.(idx) <- true;
+          cset := idx :: !cset
+        end)
+      mixed_now;
+    let young_before = young_used () and old_before = old_hum_used () in
+    let marked, remset_bytes, external_refs = trace_collection_set collected in
+    (* Plan placement: survivors young enough go to survivor regions, the
+       rest to old regions.  First-fit bump packing tells us exactly how
+       many free regions we need before we touch anything. *)
+    let surv = Vec.create () and prom = Vec.create () in
+    let surv_bytes = ref 0 and prom_bytes = ref 0 in
+    (* Survivor overflow: G1 sizes survivor space as a slice of the young
+       target; anything beyond it is promoted rather than failing the
+       evacuation. *)
+    let survivor_budget =
+      max rheap.Rh.region_size (st.young_target_bytes / 8)
+    in
+    Vec.iter
+      (fun id ->
+        let o = Os.get store id in
+        if
+          o.Os.age + 1 >= config.Gc_config.tenuring_threshold
+          || !surv_bytes + o.Os.size > survivor_budget
+        then begin
+          Vec.push prom id;
+          prom_bytes := !prom_bytes + o.Os.size
+        end
+        else begin
+          Vec.push surv id;
+          surv_bytes := !surv_bytes + o.Os.size
+        end)
+      marked;
+    let regions_for v =
+      (* bump packing: count regions needed for the exact object sizes *)
+      let count = ref 0 and used = ref rheap.Rh.region_size in
+      Vec.iter
+        (fun id ->
+          let s = (Os.get store id).Os.size in
+          if !used + s > rheap.Rh.region_size then begin
+            incr count;
+            used := 0
+          end;
+          used := !used + s)
+        v;
+      !count
+    in
+    let needed = regions_for surv + regions_for prom in
+    if needed > Rh.free_regions rheap then begin
+      clear_marks marked;
+      st.evacuation_failures <- st.evacuation_failures + 1;
+      full_gc "evacuation failure"
+    end
+    else begin
+      (* Evacuate. *)
+      let move_all v kind age_bump =
+        let target = ref None in
+        Vec.iter
+          (fun id ->
+            let o = Os.get store id in
+            let src = Rh.region_of rheap o in
+            let rec place () =
+              match !target with
+              | Some r when r.Rh.used + o.Os.size <= rheap.Rh.region_size ->
+                  src.Rh.used <- src.Rh.used - o.Os.size;
+                  o.Os.loc <- Os.Region r.Rh.idx;
+                  o.Os.age <- o.Os.age + age_bump;
+                  r.Rh.used <- r.Rh.used + o.Os.size;
+                  Vec.push r.Rh.objects id
+              | _ -> (
+                  match Rh.take_free_region rheap kind with
+                  | Some r ->
+                      target := Some r;
+                      place ()
+                  | None -> assert false (* pre-counted above *))
+            in
+            place ())
+          v
+      in
+      move_all surv Rh.Survivor 1;
+      move_all prom Rh.Old_region 1;
+      (* Remembered-set maintenance, kept precise: (a) every external
+         source that pointed at a moved object is re-recorded against the
+         object's new region (the pairs were captured during the remset
+         scan); (b) every moved object is re-recorded as a source for the
+         regions its own references point into. *)
+      Vec.iter
+        (fun (src, child) ->
+          if Os.is_live store src && Os.is_live store child then begin
+            match ((Os.get store src).Os.loc, (Os.get store child).Os.loc) with
+            | Os.Region rs, Os.Region rc when rs <> rc ->
+                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset src ()
+            | _ -> ()
+          end)
+        external_refs;
+      let update_moved id =
+        let o = Os.get store id in
+        match o.Os.loc with
+        | Os.Region ro ->
+            Vec.iter
+              (fun child ->
+                if Os.is_live store child then begin
+                  match (Os.get store child).Os.loc with
+                  | Os.Region rc when rc <> ro ->
+                      Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ()
+                  | _ -> ()
+                end)
+              o.Os.refs
+        | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> ()
+      in
+      Vec.iter update_moved surv;
+      Vec.iter update_moved prom;
+      (* Release the collection set (frees the unreached objects). *)
+      List.iter
+        (fun idx -> Rh.release_region rheap rheap.Rh.regions.(idx))
+        !cset;
+      clear_marks marked;
+      st.eden_bytes <- 0;
+      rheap.Rh.promoted_bytes <- rheap.Rh.promoted_bytes + !prom_bytes;
+      let mixed = mixed_now <> [] in
+      if mixed then begin
+        st.mixed_collections <- st.mixed_collections + 1;
+        st.mixed_candidates <-
+          List.filter (fun i -> not (List.mem i mixed_now)) st.mixed_candidates
+      end
+      else st.young_collections <- st.young_collections + 1;
+      let workers = m.Machine.gc_threads in
+      let duration =
+        Gc_ctx.stw_begin_us ctx
+        +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+        +. cost.Machine.gc_fixed_us
+        +. (region_fixed_us
+           *. float_of_int (List.length !cset)
+           /. Machine.parallel_speedup m workers)
+        +. Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
+             ~bytes:remset_bytes
+        +. Machine.phase_us m ~rate:cost.Machine.copy_rate ~workers
+             ~bytes:!surv_bytes
+        +. (let promote_rate =
+              (* As in the generational collectors: promotion into a large
+                 old space is slower per byte. *)
+              cost.Machine.promote_rate
+              /. Float.min 2.5
+                   (1.0
+                   +. (float_of_int old_before /. cost.Machine.locality_bytes))
+            in
+            Machine.phase_us m ~rate:promote_rate ~workers ~bytes:!prom_bytes)
+      in
+      st.marking_allowed <- true;
+      record
+        ~kind:(if mixed then Gc_event.Mixed else Gc_event.Young)
+        ~reason ~duration ~young_before ~old_before ~promoted:!prom_bytes;
+      maybe_start_marking ()
+    end
+  and alloc ~size =
+    if Rh.is_humongous rheap ~size then begin
+      match Rh.alloc_humongous rheap ~size with
+      | Some id ->
+          maybe_start_marking ();
+          id
+      | None -> (
+          young_gc "humongous allocation";
+          match Rh.alloc_humongous rheap ~size with
+          | Some id -> id
+          | None -> (
+              full_gc "humongous allocation failure";
+              match Rh.alloc_humongous rheap ~size with
+              | Some id -> id
+              | None ->
+                  raise
+                    (Gc_ctx.Out_of_memory
+                       (Printf.sprintf "G1: cannot fit humongous %d bytes" size))))
+    end
+    else begin
+      (* G1ReservePercent: keep a slice of the heap free for evacuation;
+         collect early rather than risk an evacuation failure. *)
+      let reserve = max 4 (Array.length rheap.Rh.regions / 10) in
+      if st.eden_bytes + size > st.young_target_bytes then
+        young_gc "eden target reached"
+      else if
+        Rh.free_regions rheap < reserve
+        && st.eden_bytes > 4 * rheap.Rh.region_size
+      then young_gc "low free regions (reserve)";
+      match Rh.alloc_young rheap ~size with
+      | Some id ->
+          st.eden_bytes <- st.eden_bytes + size;
+          id
+      | None -> (
+          young_gc "to-space exhausted";
+          match Rh.alloc_young rheap ~size with
+          | Some id ->
+              st.eden_bytes <- st.eden_bytes + size;
+              id
+          | None -> (
+              full_gc "allocation failure";
+              match Rh.alloc_young rheap ~size with
+              | Some id ->
+                  st.eden_bytes <- st.eden_bytes + size;
+                  id
+              | None ->
+                  raise
+                    (Gc_ctx.Out_of_memory
+                       (Printf.sprintf "G1: heap exhausted allocating %d bytes"
+                          size))))
+    end
+  in
+  let old_alloc_region = ref (-1) in
+  let alloc_old ~size =
+    if Rh.is_humongous rheap ~size then begin
+      match Rh.alloc_humongous rheap ~size with
+      | Some id -> id
+      | None -> (
+          full_gc "humongous allocation failure";
+          match Rh.alloc_humongous rheap ~size with
+          | Some id -> id
+          | None ->
+              raise
+                (Gc_ctx.Out_of_memory
+                   (Printf.sprintf "G1: cannot fit humongous %d bytes" size)))
+    end
+    else begin
+      let try_current () =
+        if !old_alloc_region < 0 then None
+        else begin
+          let r = rheap.Rh.regions.(!old_alloc_region) in
+          if r.Rh.kind <> Rh.Old_region then None
+          else Rh.alloc_in_region rheap r ~size
+        end
+      in
+      match try_current () with
+      | Some id -> id
+      | None -> (
+          match Rh.take_free_region rheap Rh.Old_region with
+          | Some r ->
+              old_alloc_region := r.Rh.idx;
+              (match Rh.alloc_in_region rheap r ~size with
+              | Some id -> id
+              | None ->
+                  raise
+                    (Gc_ctx.Out_of_memory
+                       "G1: old allocation larger than a region"))
+          | None -> (
+              full_gc "old allocation failure";
+              match Rh.take_free_region rheap Rh.Old_region with
+              | Some r ->
+                  old_alloc_region := r.Rh.idx;
+                  (match Rh.alloc_in_region rheap r ~size with
+                  | Some id -> id
+                  | None ->
+                      raise
+                        (Gc_ctx.Out_of_memory
+                           "G1: old allocation larger than a region"))
+              | None ->
+                  raise (Gc_ctx.Out_of_memory "G1: no free region left")))
+    end
+  in
+  let tick ~dt_us =
+    match st.phase with
+    | Idle -> ()
+    | Marking mk ->
+        let rate =
+          cost.Machine.mark_rate
+          *. Machine.parallel_speedup m m.Machine.conc_gc_threads
+        in
+        mk.remaining_bytes <- mk.remaining_bytes -. (rate *. dt_us);
+        if mk.remaining_bytes <= 0.0 then remark_and_cleanup ()
+  in
+  let mutator_factor () =
+    match st.phase with
+    | Idle -> 1.0
+    | Marking _ ->
+        let cores = float_of_int (Machine.cores m) in
+        let stolen = float_of_int m.Machine.conc_gc_threads in
+        cores /. Float.max 1.0 (cores -. stolen)
+  in
+  {
+    Collector.name;
+    kind = Gc_config.G1;
+    alloc;
+    alloc_old;
+    system_gc = (fun () -> full_gc "system.gc");
+    tick;
+    mutator_factor;
+    write_ref = (fun ~parent ~child -> Rh.record_store rheap ~parent ~child);
+    remove_ref = (fun ~parent ~child -> Rh.remove_store rheap ~parent ~child);
+    heap_used = (fun () -> Rh.heap_used rheap);
+    heap_capacity = (fun () -> rheap.Rh.heap_bytes);
+    young_used;
+    old_used = old_hum_used;
+    store;
+    check_invariants = (fun () -> Rh.check_invariants rheap);
+  }

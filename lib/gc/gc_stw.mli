@@ -1,0 +1,19 @@
+(** The four fully stop-the-world collectors.
+
+    Per Table 1 of the paper:
+
+    - {b Serial}: serial copying young collection, serial mark-compact
+      full collection, no synchronisation anywhere;
+    - {b ParNew}: parallel copying young collection, serial mark-compact
+      full collection; its young collector is the one designed to pair
+      with CMS, so promotions go through a free-list old generation;
+    - {b Parallel}: parallel copying young collection (throughput
+      collector), serial mark-compact full collection;
+    - {b ParallelOld}: parallel young {e and} parallel mark-compact full
+      collection — the JDK8 default the study uses as baseline.
+
+    All four share {!Gen_algo}; they differ only in worker counts and
+    promotion path. *)
+
+val create : Gc_ctx.t -> Gc_config.t -> Collector.t
+(** @raise Invalid_argument if the config's kind is CMS or G1. *)

@@ -1,0 +1,323 @@
+module Vec = Gcperf_util.Vec
+module Machine = Gcperf_machine.Machine
+module Gc_event = Gcperf_sim.Gc_event
+module Os = Gcperf_heap.Obj_store
+module Gh = Gcperf_heap.Gen_heap
+
+type young_params = {
+  workers : int;
+  promote_rate : float;
+  usable_old_free : unit -> int;
+}
+
+type young_outcome = {
+  promoted_bytes : int;
+  survivor_bytes : int;
+  freed_bytes : int;
+}
+
+exception Promotion_failure
+
+(* Trace the young reachable set: roots are the mutator roots plus the
+   children of dirty-card old objects.  Only young objects are traversed;
+   anything old is treated as live (standard generational conservatism). *)
+let trace_young ctx (heap : Gh.t) =
+  let store = heap.Gh.store in
+  let marked = Vec.create () in
+  let stack = Vec.create () in
+  let card_bytes = ref 0 in
+  let push id =
+    if Os.is_live store id then begin
+      let o = Os.get store id in
+      if Gh.is_young o.Os.loc && not o.Os.marked then begin
+        o.Os.marked <- true;
+        Vec.push marked id;
+        Vec.push stack id
+      end
+    end
+  in
+  ctx.Gc_ctx.iter_roots push;
+  Hashtbl.iter
+    (fun pid () ->
+      if Os.is_live store pid then begin
+        let p = Os.get store pid in
+        if not (Gh.is_young p.Os.loc) then begin
+          card_bytes := !card_bytes + p.Os.size;
+          Vec.iter push p.Os.refs
+        end
+      end)
+    heap.Gh.dirty_cards;
+  while not (Vec.is_empty stack) do
+    let id = Vec.pop stack in
+    let o = Os.get store id in
+    Vec.iter push o.Os.refs
+  done;
+  (marked, !card_bytes)
+
+let clear_marks store marked =
+  Vec.iter
+    (fun id -> if Os.is_live store id then (Os.get store id).Os.marked <- false)
+    marked
+
+(* An old object needs a dirty card iff one of its references targets a
+   young object. *)
+let has_young_ref store (o : Os.obj) =
+  Vec.exists
+    (fun r -> Os.is_live store r && Gh.is_young (Os.get store r).Os.loc)
+    o.Os.refs
+
+let rebuild_cards (heap : Gh.t) =
+  let store = heap.Gh.store in
+  Hashtbl.reset heap.Gh.dirty_cards;
+  Vec.iter
+    (fun id ->
+      if Os.is_live store id then begin
+        let o = Os.get store id in
+        if o.Os.loc = Os.Old && has_young_ref store o then
+          Hashtbl.replace heap.Gh.dirty_cards id ()
+      end)
+    heap.Gh.old_ids
+
+let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
+  let store = heap.Gh.store in
+  let young_before = Gh.young_used heap and old_before = heap.Gh.old_used in
+  let marked, card_bytes = trace_young ctx heap in
+  (* Adaptive tenuring (HotSpot's TargetSurvivorRatio): pick the largest
+     threshold such that the survivors younger than it fit in half the
+     survivor space.  This smooths promotion instead of letting several
+     generations of survivors pile up and promote in one huge burst. *)
+  let max_age = heap.Gh.tenuring_threshold in
+  let bytes_by_age = Array.make (max_age + 1) 0 in
+  Vec.iter
+    (fun id ->
+      let o = Os.get store id in
+      let age = min max_age (o.Os.age + 1) in
+      bytes_by_age.(age) <- bytes_by_age.(age) + o.Os.size)
+    marked;
+  let target = heap.Gh.survivor_cap / 2 in
+  let effective_threshold =
+    let rec scan age acc =
+      if age > max_age then max_age
+      else begin
+        let acc = acc + bytes_by_age.(age) in
+        if acc > target then age else scan (age + 1) acc
+      end
+    in
+    max 1 (min max_age (scan 1 0))
+  in
+  (* Placement: survivors young enough (and fitting the to-space) stay in
+     the survivor space; the rest is promoted.  HotSpot promotes on both
+     tenuring age and survivor-space overflow. *)
+  let to_survivor = ref 0 and to_promote = ref 0 in
+  let promote = Vec.create () and keep = Vec.create () in
+  Vec.iter
+    (fun id ->
+      let o = Os.get store id in
+      let new_age = o.Os.age + 1 in
+      if
+        new_age >= effective_threshold
+        || !to_survivor + o.Os.size > heap.Gh.survivor_cap
+      then begin
+        to_promote := !to_promote + o.Os.size;
+        Vec.push promote id
+      end
+      else begin
+        to_survivor := !to_survivor + o.Os.size;
+        Vec.push keep id
+      end)
+    marked;
+  if !to_promote > params.usable_old_free () then begin
+    clear_marks store marked;
+    raise Promotion_failure
+  end;
+  (* Apply: move survivors, free the dead. *)
+  let freed = ref 0 in
+  Vec.iter
+    (fun id ->
+      if Os.is_live store id then begin
+        let o = Os.get store id in
+        if Gh.is_young o.Os.loc && not o.Os.marked then begin
+          freed := !freed + o.Os.size;
+          Os.free store id
+        end
+      end)
+    heap.Gh.young_ids;
+  Vec.iter
+    (fun id ->
+      let o = Os.get store id in
+      o.Os.age <- o.Os.age + 1;
+      o.Os.loc <- Os.Old;
+      heap.Gh.old_used <- heap.Gh.old_used + o.Os.size;
+      Vec.push heap.Gh.old_ids id)
+    promote;
+  Vec.iter
+    (fun id ->
+      let o = Os.get store id in
+      o.Os.age <- o.Os.age + 1;
+      o.Os.loc <- Os.Survivor)
+    keep;
+  heap.Gh.eden_used <- 0;
+  heap.Gh.survivor_used <- !to_survivor;
+  heap.Gh.promoted_bytes <- heap.Gh.promoted_bytes + !to_promote;
+  Gh.compact_registries heap;
+  (* Card maintenance: previously-dirty old objects stay dirty only if
+     they still reference young data; freshly promoted objects may now be
+     old-with-young-refs. *)
+  let recheck = Vec.create () in
+  Hashtbl.iter (fun pid () -> Vec.push recheck pid) heap.Gh.dirty_cards;
+  Hashtbl.reset heap.Gh.dirty_cards;
+  let maybe_dirty id =
+    if Os.is_live store id then begin
+      let o = Os.get store id in
+      if o.Os.loc = Os.Old && has_young_ref store o then
+        Hashtbl.replace heap.Gh.dirty_cards id ()
+    end
+  in
+  Vec.iter maybe_dirty recheck;
+  Vec.iter maybe_dirty promote;
+  clear_marks store marked;
+  (* Charge the pause. *)
+  let m = ctx.Gc_ctx.machine in
+  let duration =
+    Gc_ctx.stw_begin_us ctx
+    +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+    +. m.Machine.cost.Machine.gc_fixed_us
+    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.card_scan_rate
+         ~workers:params.workers ~bytes:card_bytes
+    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.copy_rate
+         ~workers:params.workers ~bytes:!to_survivor
+    +. (let promote_rate =
+          (* Promotion degrades as the old generation grows: allocation
+             lands in cold, NUMA-remote memory and every promoted object
+             updates card metadata spread over the whole old space. *)
+          params.promote_rate
+          /. Float.min 2.5
+               (1.0
+               +. (float_of_int old_before
+                  /. m.Machine.cost.Machine.locality_bytes))
+        in
+        Machine.phase_us m ~rate:promote_rate ~workers:params.workers
+          ~bytes:!to_promote)
+  in
+  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Young ~reason
+    ~duration_us:duration ~young_before ~young_after:(Gh.young_used heap)
+    ~old_before ~old_after:heap.Gh.old_used ~promoted:!to_promote;
+  {
+    promoted_bytes = !to_promote;
+    survivor_bytes = !to_survivor;
+    freed_bytes = !freed;
+  }
+
+type full_outcome = {
+  live_bytes : int;
+  full_freed_bytes : int;
+  duration_us : float;
+}
+
+(* Full trace over both generations. *)
+let trace_all ctx (heap : Gh.t) =
+  let store = heap.Gh.store in
+  let marked = Vec.create () in
+  let stack = Vec.create () in
+  let push id =
+    if Os.is_live store id then begin
+      let o = Os.get store id in
+      if not o.Os.marked then begin
+        o.Os.marked <- true;
+        Vec.push marked id;
+        Vec.push stack id
+      end
+    end
+  in
+  ctx.Gc_ctx.iter_roots push;
+  while not (Vec.is_empty stack) do
+    let id = Vec.pop stack in
+    Vec.iter push (Os.get store id).Os.refs
+  done;
+  marked
+
+let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
+  let store = heap.Gh.store in
+  let young_before = Gh.young_used heap and old_before = heap.Gh.old_used in
+  let marked = trace_all ctx heap in
+  let live_young = ref 0 and live_old = ref 0 in
+  Vec.iter
+    (fun id ->
+      let o = Os.get store id in
+      if Gh.is_young o.Os.loc then live_young := !live_young + o.Os.size
+      else live_old := !live_old + o.Os.size)
+    marked;
+  let live = !live_young + !live_old in
+  if live > heap.Gh.heap_bytes then begin
+    clear_marks store marked;
+    raise
+      (Gc_ctx.Out_of_memory
+         (Printf.sprintf "%s: live data (%d) exceeds heap (%d)" collector live
+            heap.Gh.heap_bytes))
+  end;
+  (* Sweep: free everything unmarked, in both generations. *)
+  let freed = ref 0 in
+  let sweep_vec v =
+    Vec.iter
+      (fun id ->
+        if Os.is_live store id then begin
+          let o = Os.get store id in
+          if not o.Os.marked then begin
+            freed := !freed + o.Os.size;
+            Os.free store id
+          end
+        end)
+      v
+  in
+  sweep_vec heap.Gh.young_ids;
+  sweep_vec heap.Gh.old_ids;
+  (* Compact: evacuate live young objects into the old generation while it
+     has room; overflow stays in eden (to be dealt with by the next minor
+     collection).  Survivor space empties. *)
+  let promoted = ref 0 in
+  let eden_left = ref 0 in
+  let old_used = ref !live_old in
+  Vec.iter
+    (fun id ->
+      if Os.is_live store id then begin
+        let o = Os.get store id in
+        if Gh.is_young o.Os.loc then begin
+          if !old_used + o.Os.size <= heap.Gh.old_cap then begin
+            o.Os.loc <- Os.Old;
+            old_used := !old_used + o.Os.size;
+            promoted := !promoted + o.Os.size;
+            Vec.push heap.Gh.old_ids id
+          end
+          else begin
+            o.Os.loc <- Os.Eden;
+            eden_left := !eden_left + o.Os.size
+          end
+        end
+      end)
+    marked;
+  heap.Gh.eden_used <- !eden_left;
+  heap.Gh.survivor_used <- 0;
+  heap.Gh.old_used <- !old_used;
+  heap.Gh.promoted_bytes <- heap.Gh.promoted_bytes + !promoted;
+  Gh.compact_registries heap;
+  rebuild_cards heap;
+  clear_marks store marked;
+  let m = ctx.Gc_ctx.machine in
+  let duration =
+    Gc_ctx.stw_begin_us ctx
+    +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+    +. m.Machine.cost.Machine.gc_fixed_us
+    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.mark_rate ~workers
+         ~bytes:live
+    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.sweep_rate ~workers
+         ~bytes:!freed
+    (* Sliding compaction touches the whole occupied old space, dead
+       data included: this is why a full collection of a nearly full
+       64 GB heap takes minutes even with live data far smaller. *)
+    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.compact_rate ~workers
+         ~bytes:(max old_before (!live_old + !promoted))
+  in
+  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Full ~reason
+    ~duration_us:duration ~young_before ~young_after:(Gh.young_used heap)
+    ~old_before ~old_after:heap.Gh.old_used ~promoted:!promoted;
+  { live_bytes = live; full_freed_bytes = !freed; duration_us = duration }

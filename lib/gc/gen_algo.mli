@@ -1,0 +1,72 @@
+(** Collection algorithms over the generational heap layout.
+
+    Serial, ParNew, Parallel, ParallelOld and CMS all share these two
+    building blocks and differ only in their parameters:
+
+    - {!collect_young}: a copying collection of the young generation
+      (eden + from-survivor into to-survivor/old), serial or parallel,
+      with bump-pointer or free-list promotion;
+    - {!collect_full}: a stop-the-world mark-compact of the entire heap,
+      serial or parallel.
+
+    Both genuinely trace the simulated object graph, so survival,
+    promotion and reclamation are emergent, and both charge their phases
+    to the virtual clock through the machine cost model. *)
+
+type young_params = {
+  workers : int;  (** GC threads for the stop-the-world young phases *)
+  promote_rate : float;
+      (** bytes/us for copying a survivor into the old generation
+          (bump-pointer for the throughput collectors, free-list for CMS) *)
+  usable_old_free : unit -> int;
+      (** how much old-generation space promotions may use; CMS plugs in
+          its fragmentation model here *)
+}
+
+type young_outcome = {
+  promoted_bytes : int;
+  survivor_bytes : int;  (** bytes kept in the to-survivor space *)
+  freed_bytes : int;
+}
+
+exception Promotion_failure
+(** The survivors do not fit in the old generation; the caller must fall
+    back to a full collection.  The heap is left untouched. *)
+
+val collect_young :
+  Gc_ctx.t ->
+  Gcperf_heap.Gen_heap.t ->
+  params:young_params ->
+  collector:string ->
+  reason:string ->
+  young_outcome
+(** @raise Promotion_failure as described above. *)
+
+type full_outcome = {
+  live_bytes : int;
+  full_freed_bytes : int;
+  duration_us : float;
+}
+
+val collect_full :
+  Gc_ctx.t ->
+  Gcperf_heap.Gen_heap.t ->
+  workers:int ->
+  collector:string ->
+  reason:string ->
+  full_outcome
+(** Mark-compact of both generations: live young objects are evacuated
+    into the old generation (overflow stays young), dead objects are
+    reclaimed, the old generation is compacted.
+    @raise Gc_ctx.Out_of_memory when live data exceeds the heap. *)
+
+val rebuild_cards : Gcperf_heap.Gen_heap.t -> unit
+(** Recomputes the card table exactly (old objects that reference young
+    objects).  Exposed for tests. *)
+
+val trace_all : Gc_ctx.t -> Gcperf_heap.Gen_heap.t -> int Gcperf_util.Vec.t
+(** Marks every object reachable from the roots (both generations) and
+    returns the marked ids.  Callers must {!clear_marks} when done.  Used
+    by CMS's remark pause, which needs an exact liveness snapshot. *)
+
+val clear_marks : Gcperf_heap.Obj_store.t -> int Gcperf_util.Vec.t -> unit

@@ -1,0 +1,120 @@
+module Vec = Gcperf_util.Vec
+
+type t = {
+  store : Obj_store.t;
+  heap_bytes : int;
+  young_bytes : int;
+  eden_cap : int;
+  survivor_cap : int;
+  old_cap : int;
+  mutable eden_used : int;
+  mutable survivor_used : int;
+  mutable old_used : int;
+  mutable tenuring_threshold : int;
+  young_ids : int Vec.t;
+  old_ids : int Vec.t;
+  dirty_cards : (int, unit) Hashtbl.t;
+  mutable allocated_bytes : int;
+  mutable promoted_bytes : int;
+}
+
+let create store ~heap_bytes ~young_bytes ?(survivor_ratio = 8)
+    ?(tenuring_threshold = 6) () =
+  if young_bytes > heap_bytes then
+    invalid_arg "Gen_heap.create: young generation larger than heap";
+  if young_bytes <= 0 then invalid_arg "Gen_heap.create: empty young gen";
+  (* eden : survivor : survivor = ratio : 1 : 1 *)
+  let survivor_cap = young_bytes / (survivor_ratio + 2) in
+  let eden_cap = young_bytes - (2 * survivor_cap) in
+  {
+    store;
+    heap_bytes;
+    young_bytes;
+    eden_cap;
+    survivor_cap;
+    old_cap = heap_bytes - young_bytes;
+    eden_used = 0;
+    survivor_used = 0;
+    old_used = 0;
+    tenuring_threshold;
+    young_ids = Vec.create ();
+    old_ids = Vec.create ();
+    dirty_cards = Hashtbl.create 256;
+    allocated_bytes = 0;
+    promoted_bytes = 0;
+  }
+
+let is_young = function
+  | Obj_store.Eden | Obj_store.Survivor -> true
+  | Obj_store.Old | Obj_store.Region _ | Obj_store.Nowhere -> false
+
+let young_used t = t.eden_used + t.survivor_used
+
+let heap_used t = young_used t + t.old_used
+
+let eden_free t = t.eden_cap - t.eden_used
+
+let old_free t = t.old_cap - t.old_used
+
+let alloc_eden t ~size =
+  if size > eden_free t then None
+  else begin
+    let id = Obj_store.alloc t.store ~size ~loc:Obj_store.Eden in
+    t.eden_used <- t.eden_used + size;
+    t.allocated_bytes <- t.allocated_bytes + size;
+    Vec.push t.young_ids id;
+    Some id
+  end
+
+let alloc_old_direct t ~size =
+  if size > old_free t then None
+  else begin
+    let id = Obj_store.alloc t.store ~size ~loc:Obj_store.Old in
+    t.old_used <- t.old_used + size;
+    t.allocated_bytes <- t.allocated_bytes + size;
+    Vec.push t.old_ids id;
+    Some id
+  end
+
+let record_store t ~parent ~child =
+  Obj_store.add_ref t.store ~from:parent ~to_:child;
+  let p = Obj_store.get t.store parent and c = Obj_store.get t.store child in
+  if (not (is_young p.loc)) && is_young c.loc then
+    Hashtbl.replace t.dirty_cards parent ()
+
+let remove_store t ~parent ~child =
+  Obj_store.remove_ref t.store ~from:parent ~to_:child
+
+let compact_registries t =
+  let store = t.store in
+  Vec.filter_in_place
+    (fun id -> Obj_store.is_live store id && is_young (Obj_store.get store id).loc)
+    t.young_ids;
+  Vec.filter_in_place
+    (fun id ->
+      Obj_store.is_live store id && (Obj_store.get store id).loc = Obj_store.Old)
+    t.old_ids
+
+let check_invariants t =
+  let eden = ref 0 and survivor = ref 0 and old = ref 0 in
+  Obj_store.iter_live t.store (fun o ->
+      match o.loc with
+      | Obj_store.Eden -> eden := !eden + o.size
+      | Obj_store.Survivor -> survivor := !survivor + o.size
+      | Obj_store.Old -> old := !old + o.size
+      | Obj_store.Region _ | Obj_store.Nowhere -> ());
+  let check name expected actual cap =
+    if expected <> actual then
+      Error
+        (Printf.sprintf "%s accounting mismatch: tracked %d, actual %d" name
+           actual expected)
+    else if actual > cap then
+      Error (Printf.sprintf "%s over capacity: %d > %d" name actual cap)
+    else Ok ()
+  in
+  match check "eden" !eden t.eden_used t.eden_cap with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check "survivor" !survivor t.survivor_used t.survivor_cap with
+      | Error _ as e -> e
+      | Ok () -> check "old" !old t.old_used t.old_cap)

@@ -1,0 +1,79 @@
+(** Generational heap layout (all collectors except G1).
+
+    The heap is split into a young generation (an eden plus two survivor
+    semi-spaces) and an old generation, exactly as in HotSpot.  This module
+    owns the space accounting, the registries of young and old object ids,
+    and the card table that tracks old objects possibly holding references
+    into the young generation.
+
+    The record type is exposed: the collector implementations in
+    [gcperf.gc] are co-designed with this module and manipulate the
+    accounting directly while collecting. *)
+
+type t = {
+  store : Obj_store.t;
+  heap_bytes : int;  (** total committed heap *)
+  young_bytes : int;  (** eden + both survivor spaces *)
+  eden_cap : int;
+  survivor_cap : int;  (** capacity of one survivor space *)
+  old_cap : int;
+  mutable eden_used : int;
+  mutable survivor_used : int;  (** occupancy of the from-space *)
+  mutable old_used : int;
+  mutable tenuring_threshold : int;
+      (** collections an object must survive before promotion *)
+  young_ids : int Gcperf_util.Vec.t;
+      (** ids of objects allocated young; may contain stale entries, which
+          collectors filter while walking *)
+  old_ids : int Gcperf_util.Vec.t;
+  dirty_cards : (int, unit) Hashtbl.t;
+      (** card table: old-generation objects that may reference young ones;
+          a conservative over-approximation, cleared by each young scan *)
+  mutable allocated_bytes : int;  (** cumulative bytes ever allocated *)
+  mutable promoted_bytes : int;  (** cumulative bytes ever promoted *)
+}
+
+val create :
+  Obj_store.t ->
+  heap_bytes:int ->
+  young_bytes:int ->
+  ?survivor_ratio:int ->
+  ?tenuring_threshold:int ->
+  unit ->
+  t
+(** [survivor_ratio] is eden/survivor as in HotSpot's [-XX:SurvivorRatio]
+    (default 8, i.e. eden = 8/10 of young, each survivor space 1/10).
+    @raise Invalid_argument if [young_bytes > heap_bytes]. *)
+
+val is_young : Obj_store.location -> bool
+
+val young_used : t -> int
+
+val heap_used : t -> int
+
+val eden_free : t -> int
+
+val old_free : t -> int
+
+val alloc_eden : t -> size:int -> int option
+(** Bump allocation in eden; [None] on allocation failure (eden full). *)
+
+val alloc_old_direct : t -> size:int -> int option
+(** Direct old-generation allocation, used for objects too large for the
+    young generation; [None] if the old generation cannot fit it. *)
+
+val record_store : t -> parent:int -> child:int -> unit
+(** Write barrier: adds the reference [parent -> child] and dirties the
+    parent's card when [parent] is old and [child] young. *)
+
+val remove_store : t -> parent:int -> child:int -> unit
+(** Removes one [parent -> child] reference (mutator overwrote a field). *)
+
+val compact_registries : t -> unit
+(** Drops stale ids from the young/old registries so their length again
+    reflects the number of live objects. *)
+
+val check_invariants : t -> (unit, string) result
+(** Verifies space accounting against the object store: used bytes per
+    space equal the sum of the sizes of the objects located there, and no
+    object exceeds its space capacity.  Used by the test suite. *)

@@ -1,0 +1,97 @@
+module Vec = Gcperf_util.Vec
+
+type location = Eden | Survivor | Old | Region of int | Nowhere
+
+type obj = {
+  id : int;
+  mutable size : int;
+  mutable loc : location;
+  mutable age : int;
+  mutable marked : bool;
+  mutable refs : int Vec.t;
+}
+
+type t = {
+  slots : obj Vec.t;
+  free_slots : int Vec.t;
+  mutable live : int;
+}
+
+let create () = { slots = Vec.create (); free_slots = Vec.create (); live = 0 }
+
+let alloc t ~size ~loc =
+  assert (size > 0);
+  t.live <- t.live + 1;
+  if Vec.is_empty t.free_slots then begin
+    let id = Vec.length t.slots in
+    let o = { id; size; loc; age = 0; marked = false; refs = Vec.create () } in
+    Vec.push t.slots o;
+    id
+  end
+  else begin
+    let id = Vec.pop t.free_slots in
+    let o = Vec.get t.slots id in
+    o.size <- size;
+    o.loc <- loc;
+    o.age <- 0;
+    o.marked <- false;
+    Vec.clear o.refs;
+    id
+  end
+
+let get t id =
+  let o = Vec.get t.slots id in
+  if o.loc = Nowhere then invalid_arg "Obj_store.get: stale id";
+  o
+
+let is_live t id =
+  id >= 0 && id < Vec.length t.slots && (Vec.get t.slots id).loc <> Nowhere
+
+let free t id =
+  let o = Vec.get t.slots id in
+  if o.loc = Nowhere then invalid_arg "Obj_store.free: double free";
+  o.loc <- Nowhere;
+  o.marked <- false;
+  Vec.clear o.refs;
+  t.live <- t.live - 1;
+  Vec.push t.free_slots id
+
+let add_ref t ~from ~to_ =
+  let o = get t from in
+  ignore (get t to_);
+  Vec.push o.refs to_
+
+let remove_ref t ~from ~to_ =
+  let o = get t from in
+  let removed = ref false in
+  Vec.filter_in_place
+    (fun r ->
+      if (not !removed) && r = to_ then begin
+        removed := true;
+        false
+      end
+      else true)
+    o.refs
+
+let set_refs t id refs =
+  let o = get t id in
+  Vec.clear o.refs;
+  List.iter
+    (fun r ->
+      ignore (get t r);
+      Vec.push o.refs r)
+    refs
+
+let live_count t = t.live
+
+let live_ids t =
+  let acc = ref [] in
+  for i = Vec.length t.slots - 1 downto 0 do
+    if (Vec.get t.slots i).loc <> Nowhere then acc := i :: !acc
+  done;
+  !acc
+
+let iter_live t f =
+  Vec.iter (fun o -> if o.loc <> Nowhere then f o) t.slots
+
+let capacity t = Vec.length t.slots

@@ -1,0 +1,63 @@
+(** Simulated object store.
+
+    Every simulated heap object lives in this arena.  An object carries the
+    attributes the collectors need — size in (simulated) bytes, age in
+    survived collections, location, mark bit and outgoing references — and
+    is identified by a dense integer id so collectors can use flat arrays
+    and vectors for work lists.
+
+    An object here stands for a {e cluster} of real Java objects allocated
+    together (see DESIGN.md §6, "scale factor"): sizes are real bytes, so a
+    64 GB heap holds on the order of 10^5 clusters instead of 10^9 objects,
+    while tracing, copying and promotion still operate on a genuine object
+    graph. *)
+
+type location =
+  | Eden
+  | Survivor
+  | Old
+  | Region of int  (** G1 region index *)
+  | Nowhere  (** free slot *)
+
+type obj = {
+  id : int;
+  mutable size : int;
+  mutable loc : location;
+  mutable age : int;
+  mutable marked : bool;
+  mutable refs : int Gcperf_util.Vec.t;  (** outgoing references (object ids) *)
+}
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> size:int -> loc:location -> int
+(** Allocates a fresh object (recycling a free slot when possible) and
+    returns its id.  The object starts with age 0, unmarked, no refs. *)
+
+val get : t -> int -> obj
+(** @raise Invalid_argument on a stale or out-of-range id. *)
+
+val is_live : t -> int -> bool
+(** Whether the id denotes a currently-allocated object. *)
+
+val free : t -> int -> unit
+(** Returns the object's slot to the free pool.  The id becomes stale. *)
+
+val add_ref : t -> from:int -> to_:int -> unit
+
+val remove_ref : t -> from:int -> to_:int -> unit
+(** Removes one occurrence; no-op if absent. *)
+
+val set_refs : t -> int -> int list -> unit
+
+val live_count : t -> int
+
+val live_ids : t -> int list
+(** Ids of all live objects, ascending.  O(capacity); test/debug use. *)
+
+val iter_live : t -> (obj -> unit) -> unit
+
+val capacity : t -> int
+(** Total slots ever allocated (live + recyclable). *)

@@ -1,0 +1,258 @@
+module Vec = Gcperf_util.Vec
+
+type region_kind = Free | Eden | Survivor | Old_region | Humongous
+
+type region = {
+  idx : int;
+  mutable kind : region_kind;
+  mutable used : int;
+  objects : int Vec.t;
+  remset : (int, unit) Hashtbl.t;
+  mutable live_bytes : int;
+  mutable hum_len : int;
+}
+
+type t = {
+  store : Obj_store.t;
+  heap_bytes : int;
+  region_size : int;
+  regions : region array;
+  mutable current_alloc : int;
+  mutable allocated_bytes : int;
+  mutable promoted_bytes : int;
+}
+
+let mb = 1024 * 1024
+
+let create store ~heap_bytes ?(target_regions = 1024) () =
+  if heap_bytes <= 0 then invalid_arg "Region_heap.create: empty heap";
+  let size = heap_bytes / target_regions in
+  let region_size = max mb (min (32 * mb) size) in
+  let n = max 8 (heap_bytes / region_size) in
+  let regions =
+    Array.init n (fun idx ->
+        {
+          idx;
+          kind = Free;
+          used = 0;
+          objects = Vec.create ();
+          remset = Hashtbl.create 16;
+          live_bytes = 0;
+          hum_len = 0;
+        })
+  in
+  {
+    store;
+    heap_bytes;
+    region_size;
+    regions;
+    current_alloc = -1;
+    allocated_bytes = 0;
+    promoted_bytes = 0;
+  }
+
+let region_of t (o : Obj_store.obj) =
+  match o.loc with
+  | Obj_store.Region r -> t.regions.(r)
+  | Obj_store.Eden | Obj_store.Survivor | Obj_store.Old | Obj_store.Nowhere ->
+      invalid_arg "Region_heap.region_of: object not in a region"
+
+let count_kind t k =
+  Array.fold_left (fun acc r -> if r.kind = k then acc + 1 else acc) 0 t.regions
+
+let used_of_kind t k =
+  Array.fold_left (fun acc r -> if r.kind = k then acc + r.used else acc) 0 t.regions
+
+let free_regions t = count_kind t Free
+
+let heap_used t = Array.fold_left (fun acc r -> acc + r.used) 0 t.regions
+
+let take_free_region t kind =
+  let rec find i =
+    if i >= Array.length t.regions then None
+    else if t.regions.(i).kind = Free then begin
+      let r = t.regions.(i) in
+      r.kind <- kind;
+      r.used <- 0;
+      r.live_bytes <- 0;
+      Some r
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let alloc_in_region t r ~size =
+  if r.used + size > t.region_size then None
+  else begin
+    let id = Obj_store.alloc t.store ~size ~loc:(Obj_store.Region r.idx) in
+    r.used <- r.used + size;
+    Vec.push r.objects id;
+    t.allocated_bytes <- t.allocated_bytes + size;
+    Some id
+  end
+
+let rec alloc_young t ~size =
+  if size > t.region_size then
+    invalid_arg "Region_heap.alloc_young: humongous object";
+  if t.current_alloc >= 0 then begin
+    let r = t.regions.(t.current_alloc) in
+    match alloc_in_region t r ~size with
+    | Some id -> Some id
+    | None ->
+        t.current_alloc <- -1;
+        alloc_young t ~size
+  end
+  else begin
+    match take_free_region t Eden with
+    | None -> None
+    | Some r ->
+        t.current_alloc <- r.idx;
+        alloc_young t ~size
+  end
+
+let is_humongous t ~size = size > t.region_size / 2
+
+(* Humongous objects occupy a contiguous run of [ceil(size/region_size)]
+   dedicated regions, as in G1.  The object id is recorded in the head
+   region, which also remembers the group length; each region of the group
+   carries its share of the bytes so per-region accounting stays exact. *)
+let alloc_humongous t ~size =
+  let needed = (size + t.region_size - 1) / t.region_size in
+  let n = Array.length t.regions in
+  (* First contiguous run of [needed] free regions. *)
+  let rec find_run start =
+    if start + needed > n then None
+    else begin
+      let rec check i = i >= needed || (t.regions.(start + i).kind = Free && check (i + 1)) in
+      if check 0 then Some start else find_run (start + 1)
+    end
+  in
+  match find_run 0 with
+  | None -> None
+  | Some start ->
+      let head = t.regions.(start) in
+      let id = Obj_store.alloc t.store ~size ~loc:(Obj_store.Region start) in
+      Vec.push head.objects id;
+      head.hum_len <- needed;
+      let remaining = ref size in
+      for i = start to start + needed - 1 do
+        let r = t.regions.(i) in
+        r.kind <- Humongous;
+        let chunk = min !remaining t.region_size in
+        r.used <- chunk;
+        r.live_bytes <- chunk;
+        remaining := !remaining - chunk
+      done;
+      t.allocated_bytes <- t.allocated_bytes + size;
+      Some id
+
+let release_humongous t id =
+  let o = Obj_store.get t.store id in
+  match o.Obj_store.loc with
+  | Obj_store.Region start ->
+      let head = t.regions.(start) in
+      if head.hum_len <= 0 then
+        invalid_arg "Region_heap.release_humongous: not a humongous head";
+      for i = start to start + head.hum_len - 1 do
+        let r = t.regions.(i) in
+        Vec.clear r.objects;
+        Hashtbl.reset r.remset;
+        r.kind <- Free;
+        r.used <- 0;
+        r.live_bytes <- 0;
+        r.hum_len <- 0
+      done;
+      Obj_store.free t.store id
+  | _ -> invalid_arg "Region_heap.release_humongous: not region-allocated"
+
+let record_store t ~parent ~child =
+  Obj_store.add_ref t.store ~from:parent ~to_:child;
+  let p = Obj_store.get t.store parent and c = Obj_store.get t.store child in
+  match (p.loc, c.loc) with
+  | Obj_store.Region rp, Obj_store.Region rc when rp <> rc ->
+      Hashtbl.replace t.regions.(rc).remset parent ()
+  | _ -> ()
+
+let remove_store t ~parent ~child =
+  Obj_store.remove_ref t.store ~from:parent ~to_:child
+
+let compact_region_objects t r =
+  Vec.filter_in_place
+    (fun id ->
+      Obj_store.is_live t.store id
+      && (Obj_store.get t.store id).loc = Obj_store.Region r.idx)
+    r.objects
+
+let release_region t r =
+  Vec.iter
+    (fun id ->
+      if
+        Obj_store.is_live t.store id
+        && (Obj_store.get t.store id).loc = Obj_store.Region r.idx
+      then Obj_store.free t.store id)
+    r.objects;
+  Vec.clear r.objects;
+  Hashtbl.reset r.remset;
+  r.kind <- Free;
+  r.used <- 0;
+  r.live_bytes <- 0;
+  r.hum_len <- 0;
+  if t.current_alloc = r.idx then t.current_alloc <- -1
+
+let eden_regions t =
+  Array.to_list t.regions |> List.filter (fun r -> r.kind = Eden)
+
+let young_regions t =
+  Array.to_list t.regions
+  |> List.filter (fun r -> r.kind = Eden || r.kind = Survivor)
+
+let check_invariants t =
+  (* Recompute per-region occupancy from the store; humongous groups put
+     their bytes in dedicated regions, handled via the head region. *)
+  let actual = Array.make (Array.length t.regions) 0 in
+  let err = ref None in
+  Obj_store.iter_live t.store (fun o ->
+      match o.loc with
+      | Obj_store.Region r ->
+          if t.regions.(r).kind = Humongous then begin
+            (* Spread over the group exactly as the allocator did. *)
+            let remaining = ref o.size and idx = ref r in
+            while !remaining > 0 do
+              if
+                !idx >= Array.length t.regions
+                || t.regions.(!idx).kind <> Humongous
+              then begin
+                err := Some "humongous group truncated";
+                remaining := 0
+              end
+              else begin
+                let chunk = min !remaining t.region_size in
+                actual.(!idx) <- actual.(!idx) + chunk;
+                remaining := !remaining - chunk;
+                incr idx
+              end
+            done
+          end
+          else actual.(r) <- actual.(r) + o.size
+      | Obj_store.Eden | Obj_store.Survivor | Obj_store.Old | Obj_store.Nowhere
+        ->
+          ());
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let bad = ref None in
+      Array.iteri
+        (fun i r ->
+          if !bad = None then begin
+            if r.kind = Free && r.used <> 0 then
+              bad := Some (Printf.sprintf "free region %d not empty" i)
+            else if r.used <> actual.(i) then
+              bad :=
+                Some
+                  (Printf.sprintf "region %d accounting: tracked %d actual %d"
+                     i r.used actual.(i))
+            else if r.kind <> Humongous && r.used > t.region_size then
+              bad := Some (Printf.sprintf "region %d over-full" i)
+          end)
+        t.regions;
+      (match !bad with Some e -> Error e | None -> Ok ())

@@ -1,0 +1,95 @@
+(** Region-based heap layout (G1).
+
+    The heap is divided into equally-sized regions; any region can play the
+    role of eden, survivor, old or humongous space, as in Garbage-First.
+    Each region keeps a remembered set over-approximating the set of
+    objects outside the region that reference into it, which is what makes
+    collecting an arbitrary subset of regions possible. *)
+
+type region_kind = Free | Eden | Survivor | Old_region | Humongous
+
+type region = {
+  idx : int;
+  mutable kind : region_kind;
+  mutable used : int;
+  objects : int Gcperf_util.Vec.t;
+      (** ids of objects in the region; may contain stale entries *)
+  remset : (int, unit) Hashtbl.t;
+      (** external object ids with references into this region *)
+  mutable live_bytes : int;
+      (** liveness estimate from the last concurrent marking *)
+  mutable hum_len : int;
+      (** for the head region of a humongous group: number of regions in
+          the group (including the head); 0 otherwise *)
+}
+
+type t = {
+  store : Obj_store.t;
+  heap_bytes : int;
+  region_size : int;
+  regions : region array;
+  mutable current_alloc : int;  (** region currently bump-allocated, or -1 *)
+  mutable allocated_bytes : int;
+  mutable promoted_bytes : int;
+}
+
+val create : Obj_store.t -> heap_bytes:int -> ?target_regions:int -> unit -> t
+(** Region size is [heap_bytes / target_regions] (default 1024 regions),
+    clamped to HotSpot's 1 MB - 32 MB range. *)
+
+val region_of : t -> Obj_store.obj -> region
+(** @raise Invalid_argument if the object is not region-allocated. *)
+
+val count_kind : t -> region_kind -> int
+
+val used_of_kind : t -> region_kind -> int
+
+val free_regions : t -> int
+
+val heap_used : t -> int
+
+val take_free_region : t -> region_kind -> region option
+(** Claims a free region for the given role. *)
+
+val alloc_young : t -> size:int -> int option
+(** Bump-allocates in the current eden region, claiming a new free region
+    when the current one is full.  [None] when no free region is left
+    ([size] must fit a single region; bigger objects are humongous). *)
+
+val alloc_humongous : t -> size:int -> int option
+(** Allocates a humongous object spanning [ceil(size/region_size)]
+    dedicated {e contiguous} regions, as G1 requires.  [None] if no
+    contiguous run of free regions is long enough. *)
+
+val release_humongous : t -> int -> unit
+(** [release_humongous t id] frees the humongous object [id] and returns
+    every region of its group to the free pool. *)
+
+val alloc_in_region : t -> region -> size:int -> int option
+(** Bump allocation into a specific region (used for evacuation targets);
+    [None] if it does not fit. *)
+
+val is_humongous : t -> size:int -> bool
+(** HotSpot rule: an object of more than half a region is humongous. *)
+
+val record_store : t -> parent:int -> child:int -> unit
+(** Write barrier: adds the reference and updates the target region's
+    remembered set when the edge crosses regions. *)
+
+val remove_store : t -> parent:int -> child:int -> unit
+
+val release_region : t -> region -> unit
+(** Frees every remaining object in the region and returns it to the free
+    pool (the region's evacuation has completed). *)
+
+val compact_region_objects : t -> region -> unit
+(** Drops stale object ids from the region's registry. *)
+
+val eden_regions : t -> region list
+
+val young_regions : t -> region list
+(** Eden plus survivor regions. *)
+
+val check_invariants : t -> (unit, string) result
+(** Region accounting matches object locations; regions' used bytes do not
+    exceed the region size; free regions are empty. *)

@@ -1,0 +1,96 @@
+type series = { label : string; glyph : char; points : (float * float) array }
+
+let bounds series =
+  let xs =
+    List.concat_map
+      (fun s -> Array.to_list (Array.map fst s.points))
+      series
+  in
+  let ys =
+    List.concat_map
+      (fun s -> Array.to_list (Array.map snd s.points))
+      series
+  in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0.0, 1.0, 0.0, 1.0)
+  | _ ->
+      let lo l = List.fold_left Float.min (List.hd l) l in
+      let hi l = List.fold_left Float.max (List.hd l) l in
+      let x0 = lo xs and x1 = hi xs and y0 = Float.min 0.0 (lo ys) and y1 = hi ys in
+      let x1 = if x1 = x0 then x0 +. 1.0 else x1 in
+      let y1 = if y1 = y0 then y0 +. 1.0 else y1 in
+      (x0, x1, y0, y1)
+
+let plot ~interpolate ?(width = 72) ?(height = 20) ~x_label ~y_label series =
+  let x0, x1, y0, y1 = bounds series in
+  let grid = Array.make_matrix height width ' ' in
+  let place x y glyph =
+    let c =
+      int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+    in
+    let r =
+      height - 1
+      - int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+    in
+    if c >= 0 && c < width && r >= 0 && r < height then grid.(r).(c) <- glyph
+  in
+  List.iter
+    (fun s ->
+      if interpolate && Array.length s.points > 1 then begin
+        let sorted = Array.copy s.points in
+        Array.sort compare sorted;
+        for i = 0 to Array.length sorted - 2 do
+          let xa, ya = sorted.(i) and xb, yb = sorted.(i + 1) in
+          let steps = max 1 (int_of_float ((xb -. xa) /. (x1 -. x0) *. float_of_int width)) in
+          for k = 0 to steps do
+            let f = float_of_int k /. float_of_int steps in
+            place (xa +. (f *. (xb -. xa))) (ya +. (f *. (yb -. ya))) s.glyph
+          done
+        done
+      end
+      else Array.iter (fun (x, y) -> place x y s.glyph) s.points)
+    series;
+  let buf = Buffer.create ((width + 8) * (height + 4)) in
+  Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+  Array.iteri
+    (fun r row ->
+      let y =
+        y1 -. (float_of_int r /. float_of_int (height - 1) *. (y1 -. y0))
+      in
+      Buffer.add_string buf (Printf.sprintf "%8.2f |" y);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 9 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%s%-*.2f%*.2f  (%s)\n" (String.make 10 ' ') (width - 8)
+       x0 8 x1 x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "    %c = %s\n" s.glyph s.label))
+    series;
+  Buffer.contents buf
+
+let scatter ?width ?height ~x_label ~y_label series =
+  plot ~interpolate:false ?width ?height ~x_label ~y_label series
+
+let line ?width ?height ~x_label ~y_label series =
+  plot ~interpolate:true ?width ?height ~x_label ~y_label series
+
+let bars ?(width = 50) ~title entries =
+  let hi = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 entries in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun (label, v) ->
+      let n = int_of_float (v /. hi *. float_of_int width) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-*s |%s %.1f\n" label_w label (String.make n '#') v))
+    entries;
+  Buffer.contents buf

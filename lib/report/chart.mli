@@ -1,0 +1,30 @@
+(** ASCII charts for the paper's figures.
+
+    Terminal-friendly renderings of the scatter plots (Figures 1, 4, 5),
+    line charts (Figure 2) and bar charts (Figure 3).  Each series is
+    drawn with its own glyph; axes are scaled automatically. *)
+
+type series = { label : string; glyph : char; points : (float * float) array }
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Scatter plot; overlapping points from different series show the glyph
+    of the last series drawn. *)
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Like {!scatter} but linearly interpolates between consecutive points
+    of each series. *)
+
+val bars : ?width:int -> title:string -> (string * float) list -> string
+(** Horizontal bar chart (Figure 3's ranking). *)

@@ -1,0 +1,192 @@
+module Vec = Gcperf_util.Vec
+module Prng = Gcperf_util.Prng
+module Heapq = Gcperf_util.Heapq
+module Machine = Gcperf_machine.Machine
+module Clock = Gcperf_sim.Clock
+module Gc_event = Gcperf_sim.Gc_event
+module Gc_ctx = Gcperf_gc.Gc_ctx
+module Gc_config = Gcperf_gc.Gc_config
+module Collector = Gcperf_gc.Collector
+module Registry = Gcperf_gc.Registry
+
+type thread = {
+  tid : int;
+  roots : (int, unit) Hashtbl.t;
+  prng : Prng.t;
+  mutable live : bool;
+  mutable quantum_allocs : int;
+  mutable quantum_bytes : int;
+}
+
+type owner = Thread_root of int | Global_root
+
+type t = {
+  machine : Machine.t;
+  config : Gc_config.t;
+  clock : Clock.t;
+  events : Gc_event.t;
+  ctx : Gc_ctx.t;
+  collector : Collector.t;
+  threads : thread Vec.t;
+  globals : (int, unit) Hashtbl.t;
+  deaths : (owner * int) Heapq.t;  (* keyed by cumulative allocated bytes *)
+  prng : Prng.t;
+  mutable allocated : int;
+}
+
+type lifetime = [ `Bytes of int | `Permanent ]
+
+let create machine config ~seed =
+  let clock = Clock.create () in
+  let events = Gc_event.create () in
+  let ctx = Gc_ctx.create machine clock events in
+  let collector = Registry.create ctx config in
+  let t =
+    {
+      machine;
+      config;
+      clock;
+      events;
+      ctx;
+      collector;
+      threads = Vec.create ();
+      globals = Hashtbl.create 64;
+      deaths = Heapq.create ();
+      prng = Prng.create seed;
+      allocated = 0;
+    }
+  in
+  ctx.Gc_ctx.mutator_threads <- 0;
+  ctx.Gc_ctx.iter_roots <-
+    (fun f ->
+      Vec.iter
+        (fun th -> if th.live then Hashtbl.iter (fun id () -> f id) th.roots)
+        t.threads;
+      Hashtbl.iter (fun id () -> f id) t.globals);
+  t
+
+let machine t = t.machine
+let clock t = t.clock
+let events t = t.events
+let collector t = t.collector
+let config t = t.config
+let now_s t = Clock.now_s t.clock
+let allocated_bytes t = t.allocated
+
+let spawn_thread t =
+  let th =
+    {
+      tid = Vec.length t.threads;
+      roots = Hashtbl.create 64;
+      prng = Prng.split t.prng;
+      live = true;
+      quantum_allocs = 0;
+      quantum_bytes = 0;
+    }
+  in
+  Vec.push t.threads th;
+  t.ctx.Gc_ctx.mutator_threads <- t.ctx.Gc_ctx.mutator_threads + 1;
+  th
+
+let kill_thread t th =
+  if th.live then begin
+    th.live <- false;
+    Hashtbl.reset th.roots;
+    t.ctx.Gc_ctx.mutator_threads <- max 0 (t.ctx.Gc_ctx.mutator_threads - 1)
+  end
+
+let threads t =
+  Vec.fold (fun acc th -> if th.live then th :: acc else acc) [] t.threads
+  |> List.rev
+
+let register_death t owner id lifetime =
+  match lifetime with
+  | `Permanent -> ()
+  | `Bytes b -> Heapq.push t.deaths (t.allocated + max 1 b) (owner, id)
+
+let alloc t th ~size ~lifetime =
+  let id = t.collector.Collector.alloc ~size in
+  t.allocated <- t.allocated + size;
+  th.quantum_allocs <- th.quantum_allocs + 1;
+  th.quantum_bytes <- th.quantum_bytes + size;
+  Hashtbl.replace th.roots id ();
+  register_death t (Thread_root th.tid) id lifetime;
+  id
+
+let alloc_global t ~size ~lifetime =
+  let id = t.collector.Collector.alloc ~size in
+  t.allocated <- t.allocated + size;
+  Hashtbl.replace t.globals id ();
+  register_death t Global_root id lifetime;
+  id
+
+let alloc_old_global t ~size ~lifetime =
+  let id = t.collector.Collector.alloc_old ~size in
+  t.allocated <- t.allocated + size;
+  Hashtbl.replace t.globals id ();
+  register_death t Global_root id lifetime;
+  id
+
+let add_ref t ~parent ~child = t.collector.Collector.write_ref ~parent ~child
+
+let remove_ref t ~parent ~child =
+  t.collector.Collector.remove_ref ~parent ~child
+
+let drop_root _t th id = Hashtbl.remove th.roots id
+
+let drop_global_root t id = Hashtbl.remove t.globals id
+
+let global_root t id = Hashtbl.replace t.globals id ()
+
+let process_deaths t =
+  List.iter
+    (fun (_key, (owner, id)) ->
+      match owner with
+      | Global_root -> Hashtbl.remove t.globals id
+      | Thread_root tid ->
+          let th = Vec.get t.threads tid in
+          if th.live then Hashtbl.remove th.roots id)
+    (Heapq.pop_until t.deaths t.allocated)
+
+let step t ~dt_us f =
+  let n_live = ref 0 in
+  Vec.iter
+    (fun th ->
+      if th.live then begin
+        incr n_live;
+        th.quantum_allocs <- 0;
+        th.quantum_bytes <- 0;
+        f th
+      end)
+    t.threads;
+  (* Allocation overhead: TLAB refills happen in parallel (the quantum
+     stretches by the average per-thread cost), but TLAB-less allocation
+     serialises on the shared allocation pointer, so the whole quantum
+     pays the sum. *)
+  let overhead = ref 0.0 in
+  Vec.iter
+    (fun th ->
+      if th.live && th.quantum_allocs > 0 then
+        overhead :=
+          !overhead
+          +. Machine.alloc_overhead_us t.machine ~tlab:t.config.Gc_config.tlab
+               ~threads:!n_live ~allocations:th.quantum_allocs
+               ~bytes:th.quantum_bytes
+               ~tlab_bytes:t.config.Gc_config.tlab_bytes)
+    t.threads;
+  let alloc_overhead =
+    if !n_live = 0 then 0.0
+    else if t.config.Gc_config.tlab then !overhead /. float_of_int !n_live
+    else !overhead
+  in
+  let factor = t.collector.Collector.mutator_factor () in
+  Clock.advance_us t.clock ((dt_us *. factor) +. alloc_overhead);
+  process_deaths t;
+  t.collector.Collector.tick ~dt_us
+
+let system_gc t = t.collector.Collector.system_gc ()
+
+let is_live t id =
+  Gcperf_heap.Obj_store.is_live t.collector.Collector.store id
+
+let check_invariants t = t.collector.Collector.check_invariants ()

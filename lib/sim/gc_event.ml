@@ -1,0 +1,68 @@
+type pause_kind = Young | Full | Initial_mark | Remark | Mixed | Cleanup
+
+let pause_kind_to_string = function
+  | Young -> "young"
+  | Full -> "full"
+  | Initial_mark -> "initial-mark"
+  | Remark -> "remark"
+  | Mixed -> "mixed"
+  | Cleanup -> "cleanup"
+
+let is_full = function
+  | Full -> true
+  | Young | Initial_mark | Remark | Mixed | Cleanup -> false
+
+type event = {
+  start_us : float;
+  duration_us : float;
+  kind : pause_kind;
+  collector : string;
+  reason : string;
+  young_before : int;
+  young_after : int;
+  old_before : int;
+  old_after : int;
+  promoted : int;
+}
+
+type t = { log : event Gcperf_util.Vec.t }
+
+let create () = { log = Gcperf_util.Vec.create () }
+
+let record t e = Gcperf_util.Vec.push t.log e
+
+let events t = Gcperf_util.Vec.to_list t.log
+
+let count t = Gcperf_util.Vec.length t.log
+
+let count_full t =
+  Gcperf_util.Vec.fold
+    (fun acc e -> if is_full e.kind then acc + 1 else acc)
+    0 t.log
+
+let pauses_s t =
+  Array.map (fun e -> e.duration_us /. 1e6) (Gcperf_util.Vec.to_array t.log)
+
+let total_pause_s t = Array.fold_left ( +. ) 0.0 (pauses_s t)
+
+let max_pause_s t = Array.fold_left Float.max 0.0 (pauses_s t)
+
+let avg_pause_s t =
+  let n = count t in
+  if n = 0 then 0.0 else total_pause_s t /. float_of_int n
+
+let intervals t =
+  Array.map
+    (fun e -> (e.start_us /. 1e6, (e.start_us +. e.duration_us) /. 1e6))
+    (Gcperf_util.Vec.to_array t.log)
+
+let clear t = Gcperf_util.Vec.clear t.log
+
+let pp_event ppf e =
+  Format.fprintf ppf
+    "[%10.3fs] %-12s %-14s %8.1f ms  young %d->%d  old %d->%d  promoted %d \
+     (%s)"
+    (e.start_us /. 1e6) e.collector
+    (pause_kind_to_string e.kind)
+    (e.duration_us /. 1e3) e.young_before e.young_after e.old_before
+    e.old_after e.promoted e.reason

@@ -1,0 +1,176 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let rsd xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else 100.0 *. stddev xs /. m
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+type histogram = {
+  lo : float;
+  width : float;
+  counts : int array;
+  total : int;
+  overflow : int;
+  underflow : int;
+}
+
+let histogram ?(buckets = 20) ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let width = (hi -. lo) /. float_of_int buckets in
+  let counts = Array.make buckets 0 in
+  let overflow = ref 0 and underflow = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < lo then incr underflow
+      else if x >= hi then incr overflow
+      else begin
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = min b (buckets - 1) in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  {
+    lo;
+    width;
+    counts;
+    total = Array.length xs;
+    overflow = !overflow;
+    underflow = !underflow;
+  }
+
+type band = { label : string; pct_requests : float; pct_gc : float }
+
+type latency_report = {
+  avg_ms : float;
+  max_ms : float;
+  min_ms : float;
+  around_avg : band;
+  above : band list;
+}
+
+let band_of ~label points pred =
+  let total = Array.length points in
+  let in_band = ref 0 and gc = ref 0 in
+  Array.iter
+    (fun (lat, is_gc) ->
+      if pred lat then begin
+        incr in_band;
+        if is_gc then incr gc
+      end)
+    points;
+  let pct_requests =
+    if total = 0 then 0.0 else 100.0 *. float_of_int !in_band /. float_of_int total
+  in
+  let pct_gc =
+    if !in_band = 0 then 0.0 else 100.0 *. float_of_int !gc /. float_of_int !in_band
+  in
+  { label; pct_requests; pct_gc }
+
+let latency_report points =
+  if Array.length points = 0 then invalid_arg "Stats.latency_report: empty";
+  let lats = Array.map fst points in
+  let avg = mean lats in
+  let lo, hi = min_max lats in
+  let around_avg =
+    band_of ~label:"0.5x-1.5x AVG" points (fun l ->
+        l >= 0.5 *. avg && l <= 1.5 *. avg)
+  in
+  (* Generate >2^n x AVG bands until the request share vanishes, as the
+     paper does ("until the percentage of points became too close to 0"). *)
+  let rec bands n acc =
+    let mult = Float.of_int (1 lsl n) in
+    let b =
+      band_of
+        ~label:(Printf.sprintf ">%.0fx AVG" mult)
+        points
+        (fun l -> l > mult *. avg)
+    in
+    if b.pct_requests < 0.001 || n > 10 then List.rev acc
+    else bands (n + 1) (b :: acc)
+  in
+  {
+    avg_ms = avg;
+    max_ms = hi;
+    min_ms = lo;
+    around_avg;
+    above = bands 1 [];
+  }
+
+let top_k_by f k xs =
+  if k <= 0 then []
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n <= k then xs
+    else begin
+      let keyed = Array.mapi (fun i x -> (f x, i, x)) arr in
+      Array.sort
+        (fun (a, i, _) (b, j, _) ->
+          match compare b a with 0 -> compare i j | c -> c)
+        keyed;
+      let kept = Array.sub keyed 0 k in
+      Array.sort (fun (_, i, _) (_, j, _) -> compare i j) kept;
+      Array.to_list (Array.map (fun (_, _, x) -> x) kept)
+    end
+  end
+
+let cumsum xs =
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc)
+    xs
+
+let describe xs =
+  let n = Array.length xs in
+  if n = 0 then "n=0"
+  else begin
+    let lo, hi = min_max xs in
+    Printf.sprintf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" n
+      (mean xs) (stddev xs) lo (median xs) hi
+  end

@@ -1,0 +1,70 @@
+type 'a entry = { key : int; payload : 'a }
+
+type 'a t = { heap : 'a entry Vec.t }
+
+let create () = { heap = Vec.create () }
+
+let length q = Vec.length q.heap
+
+let is_empty q = Vec.is_empty q.heap
+
+let swap q i j =
+  let a = Vec.get q.heap i and b = Vec.get q.heap j in
+  Vec.set q.heap i b;
+  Vec.set q.heap j a
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if (Vec.get q.heap i).key < (Vec.get q.heap parent).key then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let n = Vec.length q.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && (Vec.get q.heap l).key < (Vec.get q.heap !smallest).key then
+    smallest := l;
+  if r < n && (Vec.get q.heap r).key < (Vec.get q.heap !smallest).key then
+    smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q key payload =
+  Vec.push q.heap { key; payload };
+  sift_up q (Vec.length q.heap - 1)
+
+let min_key q =
+  if is_empty q then None else Some (Vec.get q.heap 0).key
+
+let pop q =
+  if is_empty q then None
+  else begin
+    let e = Vec.get q.heap 0 in
+    let last = Vec.pop q.heap in
+    if not (is_empty q) then begin
+      Vec.set q.heap 0 last;
+      sift_down q 0
+    end;
+    Some (e.key, e.payload)
+  end
+
+let pop_until q limit =
+  let rec loop acc =
+    match min_key q with
+    | Some k when k <= limit -> (
+        match pop q with
+        | Some (key, payload) -> loop ((key, payload) :: acc)
+        | None -> acc)
+    | _ -> acc
+  in
+  List.rev (loop [])
+
+let clear q = Vec.clear q.heap
+
+let iter f q = Vec.iter (fun e -> f e.key e.payload) q.heap

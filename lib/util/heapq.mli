@@ -1,0 +1,31 @@
+(** Binary min-heap keyed by [int] priorities.
+
+    Used for the object death queue (keyed by cumulative allocated bytes)
+    and for the discrete-event scheduler (keyed by virtual time in
+    microseconds).  Priorities fit comfortably in OCaml's 63-bit [int]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+(** [push q key payload] inserts with priority [key]. *)
+
+val min_key : 'a t -> int option
+(** Smallest key currently in the queue, if any. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum entry. *)
+
+val pop_until : 'a t -> int -> (int * 'a) list
+(** [pop_until q limit] pops every entry with [key <= limit], in key
+    order. *)
+
+val clear : 'a t -> unit
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Iterates in unspecified order. *)

@@ -1,0 +1,98 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  mutable dummy : 'a option; (* fill value for growth, captured on first push *)
+}
+
+let create ?(capacity = 8) () =
+  ignore capacity;
+  { data = [||]; len = 0; dummy = None }
+
+let make n x = { data = Array.make (max n 1) x; len = n; dummy = Some x }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let nd = Array.make ncap x in
+  Array.blit v.data 0 nd 0 v.len;
+  v.data <- nd
+
+let push v x =
+  if v.dummy = None then v.dummy <- Some x;
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
+
+let top v =
+  if v.len = 0 then invalid_arg "Vec.top: empty";
+  v.data.(v.len - 1)
+
+let clear v = v.len <- 0
+
+let swap_remove v i =
+  check v i;
+  let x = v.data.(i) in
+  v.len <- v.len - 1;
+  v.data.(i) <- v.data.(v.len);
+  x
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v = Array.to_list (to_array v)
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = v.data.(i) in
+    if p x then begin
+      v.data.(!j) <- x;
+      incr j
+    end
+  done;
+  v.len <- !j

@@ -1,0 +1,59 @@
+(** Mutator allocation profiles.
+
+    A profile is everything the study needs to know about a benchmark's
+    memory behaviour: how many threads it runs, how much it allocates per
+    iteration at what compute intensity, how big its allocation clusters
+    are, how long they live, how much long-lived data it keeps, and how
+    noisy it is from iteration to iteration.  The DaCapo-like suite and
+    the key-value server are both expressed in these terms. *)
+
+type threading =
+  | Single  (** one external mutator thread *)
+  | Per_hw_thread  (** one client thread per hardware thread *)
+  | Fixed of int
+
+type size_class = {
+  mean_bytes : int;  (** mean allocation-cluster size *)
+  sigma : float;  (** log-normal shape; 0 = constant size *)
+}
+
+(** Object lifetimes, as a mixture.  Fractions must sum to at most 1;
+    the remainder behaves like [short]. *)
+type lifetime_mix = {
+  short_frac : float;
+  short_mean_bytes : float;
+      (** die-young objects: root dropped after ~Exp(mean) further bytes
+          are allocated VM-wide *)
+  medium_frac : float;
+  medium_mean_bytes : float;  (** survive into the next few collections *)
+  iteration_frac : float;
+      (** live until the end of the current iteration (or sub-phase) *)
+  permanent_frac : float;  (** joins the long-lived live set *)
+}
+
+type t = {
+  name : string;
+  threading : threading;
+  iteration_alloc_bytes : int;  (** total allocation per iteration *)
+  iteration_cpu_s : float;  (** pure compute per iteration (parallel wall) *)
+  size : size_class;
+  lifetime : lifetime_mix;
+  startup_live_bytes : int;  (** long-lived data built before iteration 1 *)
+  ref_locality : float;
+      (** probability that a new cluster is linked to a recent one *)
+  update_store_prob : float;
+      (** probability that an allocation also updates a long-lived object
+          to point at the new one — the source of old-to-young references
+          and hence card-table / remembered-set traffic *)
+  phase_noise : float;
+      (** log-normal sigma applied per iteration; drives the instability
+          that excluded benchmarks from the paper's stable subset *)
+  sawtooth : int;
+      (** sub-phases per iteration whose working set is dropped at the
+          sub-phase boundary (H2-like transaction batches); 0 = none *)
+}
+
+val threads_for : t -> hw_threads:int -> int
+
+val validate : t -> (unit, string) result
+(** Checks fraction sums and positivity; used by tests and constructors. *)

@@ -1,0 +1,396 @@
+(* Collector correctness tests.
+
+   Each collector runs against small heaps with a driver built on the VM:
+   rooted objects must survive any number of collections, garbage must be
+   reclaimed, space accounting must stay exact, and each collector's
+   specific machinery (CMS cycles and concurrent-mode failures, G1
+   marking, mixed collections and humongous objects) must engage. *)
+
+module Vm = Gcperf_runtime.Vm
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module Gc_ctx = Gcperf_gc.Gc_ctx
+module Gc_event = Gcperf_sim.Gc_event
+module Os = Gcperf_heap.Obj_store
+
+let mb = 1024 * 1024
+
+let machine = Machine.paper_server ()
+
+let small_config kind =
+  Gc_config.default kind ~heap_bytes:(64 * mb) ~young_bytes:(16 * mb)
+
+let all_kind_cases f =
+  List.map
+    (fun kind ->
+      Alcotest.test_case (Gc_config.kind_to_string kind) `Quick (fun () ->
+          f kind))
+    Gc_config.all_kinds
+
+(* Allocate [n] rooted objects of [size] bytes on one thread. *)
+let alloc_rooted vm th n size =
+  List.init n (fun _ -> Vm.alloc vm th ~size ~lifetime:`Permanent)
+
+let check_invariants vm =
+  match Vm.check_invariants vm with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariant violation: " ^ e)
+
+(* --- rooted objects survive collections ----------------------------- *)
+
+let test_rooted_survive kind =
+  let vm = Vm.create machine (small_config kind) ~seed:1 in
+  let th = Vm.spawn_thread vm in
+  let rooted = alloc_rooted vm th 20 (512 * 1024) in
+  (* Push enough garbage through to force many collections. *)
+  for _ = 1 to 400 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (256 * 1024)));
+    Vm.step vm ~dt_us:1000.0 (fun _ -> ())
+  done;
+  Alcotest.(check bool) "collections happened" true
+    (Gc_event.count (Vm.events vm) > 0);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "rooted object alive" true (Vm.is_live vm id))
+    rooted;
+  check_invariants vm
+
+(* --- reachability through references -------------------------------- *)
+
+let test_reachable_via_ref_survives kind =
+  let vm = Vm.create machine (small_config kind) ~seed:2 in
+  let th = Vm.spawn_thread vm in
+  let parent = Vm.alloc vm th ~size:(256 * 1024) ~lifetime:`Permanent in
+  let child = Vm.alloc vm th ~size:(256 * 1024) ~lifetime:`Permanent in
+  Vm.add_ref vm ~parent ~child;
+  (* Drop the child's root: it stays reachable through the parent. *)
+  Vm.drop_root vm th child;
+  for _ = 1 to 300 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (256 * 1024)));
+    Vm.step vm ~dt_us:1000.0 (fun _ -> ())
+  done;
+  Alcotest.(check bool) "child kept by parent ref" true (Vm.is_live vm child);
+  (* Sever the edge: the child must eventually be collected. *)
+  Vm.remove_ref vm ~parent ~child;
+  Vm.system_gc vm;
+  Alcotest.(check bool) "child collected after severing" false
+    (Vm.is_live vm child);
+  Alcotest.(check bool) "parent still alive" true (Vm.is_live vm parent);
+  check_invariants vm
+
+(* --- garbage is reclaimed -------------------------------------------- *)
+
+let test_garbage_reclaimed kind =
+  let vm = Vm.create machine (small_config kind) ~seed:3 in
+  let th = Vm.spawn_thread vm in
+  (* 8x the heap in immediately dropped objects: only reclamation lets
+     this terminate without OOM. *)
+  for _ = 1 to 1024 do
+    let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+    Vm.drop_root vm th id;
+    Vm.step vm ~dt_us:200.0 (fun _ -> ())
+  done;
+  let used = (Vm.collector vm).Gcperf_gc.Collector.heap_used () in
+  Alcotest.(check bool) "heap not exhausted by garbage" true
+    (used < 64 * mb);
+  check_invariants vm
+
+(* --- System.gc ------------------------------------------------------- *)
+
+let test_system_gc kind =
+  let vm = Vm.create machine (small_config kind) ~seed:4 in
+  let th = Vm.spawn_thread vm in
+  let keep = alloc_rooted vm th 4 (256 * 1024) in
+  let junk = Vm.alloc vm th ~size:(4 * mb) ~lifetime:`Permanent in
+  Vm.drop_root vm th junk;
+  Vm.system_gc vm;
+  let events = Gc_event.events (Vm.events vm) in
+  Alcotest.(check bool) "a full pause was recorded" true
+    (List.exists (fun e -> Gc_event.is_full e.Gc_event.kind) events);
+  Alcotest.(check bool) "junk reclaimed" false (Vm.is_live vm junk);
+  List.iter
+    (fun id -> Alcotest.(check bool) "kept" true (Vm.is_live vm id))
+    keep;
+  check_invariants vm
+
+(* --- pause log sanity ------------------------------------------------ *)
+
+let test_pause_log_sane kind =
+  let vm = Vm.create machine (small_config kind) ~seed:5 in
+  let th = Vm.spawn_thread vm in
+  for _ = 1 to 300 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (128 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  let events = Gc_event.events (Vm.events vm) in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let rec check_sorted prev = function
+    | [] -> ()
+    | e :: tl ->
+        Alcotest.(check bool) "positive duration" true
+          (e.Gc_event.duration_us > 0.0);
+        Alcotest.(check bool) "chronological" true
+          (e.Gc_event.start_us >= prev -. 1e-9);
+        check_sorted (e.Gc_event.start_us +. e.Gc_event.duration_us) tl
+  in
+  check_sorted 0.0 events
+
+(* --- promotion ------------------------------------------------------- *)
+
+let test_promotion kind =
+  let vm = Vm.create machine (small_config kind) ~seed:6 in
+  let th = Vm.spawn_thread vm in
+  let pinned = Vm.alloc vm th ~size:(256 * 1024) ~lifetime:`Permanent in
+  for _ = 1 to 600 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (128 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  let store = (Vm.collector vm).Gcperf_gc.Collector.store in
+  let o = Os.get store pinned in
+  let is_old =
+    match o.Os.loc with
+    | Os.Old -> true
+    | Os.Region r -> (
+        match (Vm.collector vm).Gcperf_gc.Collector.kind with
+        | Gc_config.G1 -> r >= 0
+        | _ -> false)
+    | Os.Eden | Os.Survivor | Os.Nowhere -> false
+  in
+  Alcotest.(check bool) "long-lived object left eden" true
+    (is_old || o.Os.age > 0)
+
+(* --- out of memory --------------------------------------------------- *)
+
+let test_oom kind =
+  let vm = Vm.create machine (small_config kind) ~seed:7 in
+  let th = Vm.spawn_thread vm in
+  let blew_up = ref false in
+  (try
+     (* 80 MB of permanently rooted data cannot fit a 64 MB heap. *)
+     for _ = 1 to 160 do
+       ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+     done
+   with Gc_ctx.Out_of_memory _ -> blew_up := true);
+  Alcotest.(check bool) "raised Out_of_memory" true !blew_up
+
+(* --- write barrier keeps young children of old parents --------------- *)
+
+let test_write_barrier kind =
+  let vm = Vm.create machine (small_config kind) ~seed:8 in
+  let th = Vm.spawn_thread vm in
+  (* Build an old parent: allocate it, then force collections so it gets
+     promoted. *)
+  let parent = Vm.alloc vm th ~size:(256 * 1024) ~lifetime:`Permanent in
+  for _ = 1 to 300 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  (* Fresh young child, kept alive only through the old parent. *)
+  let child = Vm.alloc vm th ~size:(64 * 1024) ~lifetime:`Permanent in
+  Vm.add_ref vm ~parent ~child;
+  Vm.drop_root vm th child;
+  for _ = 1 to 200 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  Alcotest.(check bool) "child survived via card/remset" true
+    (Vm.is_live vm child)
+
+(* --- collector-specific machinery ------------------------------------ *)
+
+let test_cms_cycle () =
+  let vm = Vm.create machine (small_config Gc_config.Cms) ~seed:9 in
+  let th = Vm.spawn_thread vm in
+  (* Fill the old generation past the initiating occupancy with live
+     data, then keep allocating so ticks happen. *)
+  let hoard = ref [] in
+  for _ = 1 to 100 do
+    hoard := Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent :: !hoard
+  done;
+  for _ = 1 to 400 do
+    ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:2000.0 (fun _ -> ())
+  done;
+  let d = Gcperf_gc.Gc_cms.debug_stats (Vm.collector vm) in
+  Alcotest.(check bool) "a concurrent cycle started" true
+    (d.Gcperf_gc.Gc_cms.cycles_started >= 1);
+  let events = Gc_event.events (Vm.events vm) in
+  Alcotest.(check bool) "initial-mark pause seen" true
+    (List.exists (fun e -> e.Gc_event.kind = Gc_event.Initial_mark) events)
+
+let test_cms_reclaims_concurrently () =
+  let vm = Vm.create machine (small_config Gc_config.Cms) ~seed:10 in
+  let th = Vm.spawn_thread vm in
+  let hoard = ref [] in
+  for _ = 1 to 100 do
+    hoard := Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent :: !hoard
+  done;
+  (* Push the hoard into the old generation. *)
+  for _ = 1 to 100 do
+    ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:2000.0 (fun _ -> ())
+  done;
+  (* Make the hoard garbage, then let the concurrent cycle reclaim it. *)
+  List.iter (fun id -> Vm.drop_root vm th id) !hoard;
+  let before = (Vm.collector vm).Gcperf_gc.Collector.old_used () in
+  for _ = 1 to 600 do
+    ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:2000.0 (fun _ -> ())
+  done;
+  let after = (Vm.collector vm).Gcperf_gc.Collector.old_used () in
+  Alcotest.(check bool) "old generation shrank" true (after < before)
+
+let test_cms_concurrent_mode_failure () =
+  let vm = Vm.create machine (small_config Gc_config.Cms) ~seed:11 in
+  let th = Vm.spawn_thread vm in
+  (* Saturate the old generation with live data, then promote hard: the
+     cycle cannot keep up and CMS must fall back to a serial full GC. *)
+  let n = 44 * mb / (512 * 1024) in
+  for _ = 1 to n do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+  done;
+  (try
+     for _ = 1 to 600 do
+       ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:(`Bytes (8 * mb)));
+       Vm.step vm ~dt_us:200.0 (fun _ -> ())
+     done
+   with Gc_ctx.Out_of_memory _ -> ());
+  let events = Gc_event.events (Vm.events vm) in
+  Alcotest.(check bool) "fell back to a full collection" true
+    (List.exists
+       (fun e ->
+         Gc_event.is_full e.Gc_event.kind
+         && e.Gc_event.reason = "concurrent mode failure")
+       events
+    || Gcperf_gc.Gc_cms.(debug_stats (Vm.collector vm)).concurrent_mode_failures
+       >= 1)
+
+let test_g1_humongous () =
+  let vm = Vm.create machine (small_config Gc_config.G1) ~seed:12 in
+  let th = Vm.spawn_thread vm in
+  (* Region size for a 64 MB heap is 1 MB; > 512 KB is humongous. *)
+  let h = Vm.alloc vm th ~size:(3 * mb) ~lifetime:`Permanent in
+  Alcotest.(check bool) "humongous allocated" true (Vm.is_live vm h);
+  for _ = 1 to 300 do
+    ignore (Vm.alloc vm th ~size:(128 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  Alcotest.(check bool) "humongous survives collections" true (Vm.is_live vm h);
+  (* Dropped humongous objects are reclaimed (cleanup or full GC). *)
+  Vm.drop_root vm th h;
+  Vm.system_gc vm;
+  Alcotest.(check bool) "humongous reclaimed" false (Vm.is_live vm h);
+  check_invariants vm
+
+let test_g1_marking_and_mixed () =
+  let vm = Vm.create machine (small_config Gc_config.G1) ~seed:13 in
+  let th = Vm.spawn_thread vm in
+  (* Old data with garbage inside: build, drop half, keep allocating. *)
+  let hoard = ref [] in
+  for _ = 1 to 120 do
+    hoard := Vm.alloc vm th ~size:(384 * 1024) ~lifetime:`Permanent :: !hoard
+  done;
+  (* Keep two thirds live (above the 45% IHOP) with garbage mixed in. *)
+  List.iteri
+    (fun i id -> if i mod 3 = 0 then Vm.drop_root vm th id)
+    !hoard;
+  for _ = 1 to 800 do
+    ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:2000.0 (fun _ -> ())
+  done;
+  let d = Gcperf_gc.Gc_g1.debug_stats (Vm.collector vm) in
+  Alcotest.(check bool) "marking cycles ran" true
+    (d.Gcperf_gc.Gc_g1.marking_cycles >= 1);
+  let events = Gc_event.events (Vm.events vm) in
+  Alcotest.(check bool) "remark pauses recorded" true
+    (List.exists (fun e -> e.Gc_event.kind = Gc_event.Remark) events);
+  check_invariants vm
+
+let test_g1_young_collections_bounded () =
+  (* With a fixed young size, eden collections trigger at the target. *)
+  let vm = Vm.create machine (small_config Gc_config.G1) ~seed:14 in
+  let th = Vm.spawn_thread vm in
+  for _ = 1 to 200 do
+    ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (64 * 1024)));
+    Vm.step vm ~dt_us:500.0 (fun _ -> ())
+  done;
+  let d = Gcperf_gc.Gc_g1.debug_stats (Vm.collector vm) in
+  Alcotest.(check bool) "young collections happened" true
+    (d.Gcperf_gc.Gc_g1.young_collections >= 2)
+
+(* --- random programs preserve correctness (property) ----------------- *)
+
+let prop_random_program kind =
+  let name =
+    Printf.sprintf "random program safe under %s" (Gc_config.kind_to_string kind)
+  in
+  QCheck.Test.make ~name ~count:15
+    QCheck.(
+      list_of_size (Gen.int_range 20 120)
+        (triple (int_range 1 (mb / 2)) (int_range 0 3) bool))
+    (fun program ->
+      let vm = Vm.create machine (small_config kind) ~seed:99 in
+      let th = Vm.spawn_thread vm in
+      let rooted = ref [] in
+      (try
+         List.iter
+           (fun (size, links, keep) ->
+             let id =
+               Vm.alloc vm th ~size
+                 ~lifetime:(if keep then `Permanent else `Bytes (4 * size))
+             in
+             if keep then rooted := id :: !rooted;
+             (* Link to previously rooted objects. *)
+             let rec link n l =
+               match (n, l) with
+               | 0, _ | _, [] -> ()
+               | n, p :: tl ->
+                   if Vm.is_live vm p then Vm.add_ref vm ~parent:p ~child:id;
+                   link (n - 1) tl
+             in
+             link links !rooted;
+             Vm.step vm ~dt_us:300.0 (fun _ -> ());
+             (* Cap live data so the program never legitimately OOMs. *)
+             if List.length !rooted > 60 then begin
+               match List.rev !rooted with
+               | oldest :: _ ->
+                   Vm.drop_root vm th oldest;
+                   rooted := List.filter (fun x -> x <> oldest) !rooted
+               | [] -> ()
+             end)
+           program
+       with Gc_ctx.Out_of_memory _ -> ());
+      List.for_all (fun id -> Vm.is_live vm id) !rooted
+      && Result.is_ok (Vm.check_invariants vm))
+
+let () =
+  Alcotest.run "gc"
+    [
+      ("rooted objects survive", all_kind_cases test_rooted_survive);
+      ("reachability via refs", all_kind_cases test_reachable_via_ref_survives);
+      ("garbage reclaimed", all_kind_cases test_garbage_reclaimed);
+      ("system gc", all_kind_cases test_system_gc);
+      ("pause log", all_kind_cases test_pause_log_sane);
+      ("promotion", all_kind_cases test_promotion);
+      ("out of memory", all_kind_cases test_oom);
+      ("write barrier", all_kind_cases test_write_barrier);
+      ( "cms",
+        [
+          Alcotest.test_case "concurrent cycle" `Quick test_cms_cycle;
+          Alcotest.test_case "concurrent reclamation" `Quick
+            test_cms_reclaims_concurrently;
+          Alcotest.test_case "concurrent mode failure" `Quick
+            test_cms_concurrent_mode_failure;
+        ] );
+      ( "g1",
+        [
+          Alcotest.test_case "humongous objects" `Quick test_g1_humongous;
+          Alcotest.test_case "marking and mixed" `Quick test_g1_marking_and_mixed;
+          Alcotest.test_case "young collections" `Quick
+            test_g1_young_collections_bounded;
+        ] );
+      ( "random programs",
+        List.map
+          (fun kind -> QCheck_alcotest.to_alcotest (prop_random_program kind))
+          Gc_config.all_kinds );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for the heap substrate: object store, generational layout with
+   card table, and the G1 region layout with remembered sets. *)
+
+module Vec = Gcperf_util.Vec
+module Os = Gcperf_heap.Obj_store
+module Gh = Gcperf_heap.Gen_heap
+module Rh = Gcperf_heap.Region_heap
+
+let mb = 1024 * 1024
+
+(* --- Obj_store ------------------------------------------------------ *)
+
+let test_store_alloc_free () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:100 ~loc:Os.Eden in
+  let b = Os.alloc s ~size:200 ~loc:Os.Old in
+  Alcotest.(check int) "live" 2 (Os.live_count s);
+  Alcotest.(check bool) "a live" true (Os.is_live s a);
+  Os.free s a;
+  Alcotest.(check bool) "a freed" false (Os.is_live s a);
+  Alcotest.(check int) "live after free" 1 (Os.live_count s);
+  Alcotest.(check bool) "b untouched" true (Os.is_live s b)
+
+let test_store_recycles_slots () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:10 ~loc:Os.Eden in
+  Os.free s a;
+  let b = Os.alloc s ~size:20 ~loc:Os.Eden in
+  Alcotest.(check int) "slot reused" a b;
+  Alcotest.(check int) "capacity stable" 1 (Os.capacity s);
+  let o = Os.get s b in
+  Alcotest.(check int) "fresh size" 20 o.Os.size;
+  Alcotest.(check int) "fresh age" 0 o.Os.age;
+  Alcotest.(check int) "no stale refs" 0 (Vec.length o.Os.refs)
+
+let test_store_double_free () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:10 ~loc:Os.Eden in
+  Os.free s a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Obj_store.free: double free") (fun () -> Os.free s a)
+
+let test_store_stale_get () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:10 ~loc:Os.Eden in
+  Os.free s a;
+  Alcotest.check_raises "stale get"
+    (Invalid_argument "Obj_store.get: stale id") (fun () ->
+      ignore (Os.get s a))
+
+let test_store_refs () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:10 ~loc:Os.Eden in
+  let b = Os.alloc s ~size:10 ~loc:Os.Eden in
+  Os.add_ref s ~from:a ~to_:b;
+  Os.add_ref s ~from:a ~to_:b;
+  Alcotest.(check int) "two refs" 2 (Vec.length (Os.get s a).Os.refs);
+  Os.remove_ref s ~from:a ~to_:b;
+  Alcotest.(check int) "one removed" 1 (Vec.length (Os.get s a).Os.refs);
+  Os.set_refs s a [];
+  Alcotest.(check int) "cleared" 0 (Vec.length (Os.get s a).Os.refs)
+
+let test_store_live_ids () =
+  let s = Os.create () in
+  let a = Os.alloc s ~size:1 ~loc:Os.Eden in
+  let b = Os.alloc s ~size:1 ~loc:Os.Eden in
+  let c = Os.alloc s ~size:1 ~loc:Os.Eden in
+  Os.free s b;
+  Alcotest.(check (list int)) "live ids" [ a; c ] (Os.live_ids s)
+
+(* --- Gen_heap ------------------------------------------------------- *)
+
+let make_gen () =
+  let s = Os.create () in
+  (s, Gh.create s ~heap_bytes:(100 * mb) ~young_bytes:(20 * mb) ())
+
+let test_gen_layout () =
+  let _, h = make_gen () in
+  (* SurvivorRatio 8: eden = 8/10 young, survivors = 1/10 each. *)
+  Alcotest.(check int) "eden" (16 * mb) h.Gh.eden_cap;
+  Alcotest.(check int) "survivor" (2 * mb) h.Gh.survivor_cap;
+  Alcotest.(check int) "old" (80 * mb) h.Gh.old_cap
+
+let test_gen_bad_config () =
+  let s = Os.create () in
+  Alcotest.check_raises "young > heap"
+    (Invalid_argument "Gen_heap.create: young generation larger than heap")
+    (fun () -> ignore (Gh.create s ~heap_bytes:10 ~young_bytes:20 ()))
+
+let test_gen_alloc_eden () =
+  let _, h = make_gen () in
+  (match Gh.alloc_eden h ~size:mb with
+  | Some _ -> ()
+  | None -> Alcotest.fail "eden alloc failed");
+  Alcotest.(check int) "eden used" mb h.Gh.eden_used;
+  Alcotest.(check int) "allocated counter" mb h.Gh.allocated_bytes;
+  (* Fill it up. *)
+  (match Gh.alloc_eden h ~size:(15 * mb) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "should fit");
+  Alcotest.(check bool) "now full" true (Gh.alloc_eden h ~size:mb = None)
+
+let test_gen_alloc_old_direct () =
+  let _, h = make_gen () in
+  (match Gh.alloc_old_direct h ~size:(50 * mb) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "old alloc failed");
+  Alcotest.(check int) "old used" (50 * mb) h.Gh.old_used;
+  Alcotest.(check bool) "old overflow rejected" true
+    (Gh.alloc_old_direct h ~size:(40 * mb) = None)
+
+let test_gen_card_table () =
+  let s, h = make_gen () in
+  let young = Option.get (Gh.alloc_eden h ~size:mb) in
+  let old = Option.get (Gh.alloc_old_direct h ~size:mb) in
+  (* young -> old: no card. *)
+  Gh.record_store h ~parent:young ~child:old;
+  Alcotest.(check int) "no card for young->old" 0
+    (Hashtbl.length h.Gh.dirty_cards);
+  (* old -> young: card. *)
+  Gh.record_store h ~parent:old ~child:young;
+  Alcotest.(check bool) "card for old->young" true
+    (Hashtbl.mem h.Gh.dirty_cards old);
+  ignore s
+
+let test_gen_invariants () =
+  let _, h = make_gen () in
+  ignore (Gh.alloc_eden h ~size:mb);
+  ignore (Gh.alloc_old_direct h ~size:(2 * mb));
+  (match Gh.check_invariants h with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Corrupt the accounting on purpose: the check must catch it. *)
+  h.Gh.old_used <- h.Gh.old_used + 1;
+  Alcotest.(check bool) "corruption detected" true
+    (Result.is_error (Gh.check_invariants h))
+
+let test_gen_compact_registries () =
+  let s, h = make_gen () in
+  let a = Option.get (Gh.alloc_eden h ~size:mb) in
+  let _b = Option.get (Gh.alloc_eden h ~size:mb) in
+  Os.free s a;
+  h.Gh.eden_used <- h.Gh.eden_used - mb;
+  Alcotest.(check int) "registry has stale id" 2 (Vec.length h.Gh.young_ids);
+  Gh.compact_registries h;
+  Alcotest.(check int) "stale dropped" 1 (Vec.length h.Gh.young_ids)
+
+let prop_gen_accounting =
+  (* Random eden/old allocations and frees keep accounting exact. *)
+  QCheck.Test.make ~name:"gen heap accounting stays exact" ~count:100
+    QCheck.(list (pair bool (int_range 1 (2 * mb))))
+    (fun ops ->
+      let s = Os.create () in
+      let h = Gh.create s ~heap_bytes:(64 * mb) ~young_bytes:(16 * mb) () in
+      let live = ref [] in
+      List.iter
+        (fun (to_old, size) ->
+          let res =
+            if to_old then Gh.alloc_old_direct h ~size
+            else Gh.alloc_eden h ~size
+          in
+          match res with
+          | Some id -> live := (id, to_old, size) :: !live
+          | None -> (
+              (* Free something to make room, mimicking a collection. *)
+              match !live with
+              | (id, was_old, sz) :: rest ->
+                  Os.free s id;
+                  if was_old then h.Gh.old_used <- h.Gh.old_used - sz
+                  else h.Gh.eden_used <- h.Gh.eden_used - sz;
+                  live := rest
+              | [] -> ()))
+        ops;
+      Result.is_ok (Gh.check_invariants h))
+
+(* --- Region_heap ---------------------------------------------------- *)
+
+let make_region () =
+  let s = Os.create () in
+  (* 64 MB heap in 1 MB regions. *)
+  (s, Rh.create s ~heap_bytes:(64 * mb) ~target_regions:64 ())
+
+let test_region_create () =
+  let _, r = make_region () in
+  Alcotest.(check int) "region size" mb r.Rh.region_size;
+  Alcotest.(check int) "64 regions" 64 (Array.length r.Rh.regions);
+  Alcotest.(check int) "all free" 64 (Rh.free_regions r)
+
+let test_region_alloc_young () =
+  let _, r = make_region () in
+  (match Rh.alloc_young r ~size:(mb / 2) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "young alloc failed");
+  Alcotest.(check int) "one eden region" 1 (Rh.count_kind r Rh.Eden);
+  (* Spills into a second region when the first fills. *)
+  (match Rh.alloc_young r ~size:(3 * mb / 4) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "spill failed");
+  Alcotest.(check int) "two eden regions" 2 (Rh.count_kind r Rh.Eden);
+  Alcotest.(check bool) "invariants" true (Result.is_ok (Rh.check_invariants r))
+
+let test_region_humongous () =
+  let _, r = make_region () in
+  Alcotest.(check bool) "humongous rule" true (Rh.is_humongous r ~size:(mb / 2 + 1));
+  Alcotest.(check bool) "small is not" false (Rh.is_humongous r ~size:(mb / 4));
+  let id =
+    match Rh.alloc_humongous r ~size:(3 * mb + 100) with
+    | Some id -> id
+    | None -> Alcotest.fail "humongous alloc failed"
+  in
+  Alcotest.(check int) "4 regions claimed" 4 (Rh.count_kind r Rh.Humongous);
+  Alcotest.(check bool) "invariants with humongous" true
+    (Result.is_ok (Rh.check_invariants r));
+  Rh.release_humongous r id;
+  Alcotest.(check int) "all free again" 64 (Rh.free_regions r);
+  Alcotest.(check bool) "invariants after release" true
+    (Result.is_ok (Rh.check_invariants r))
+
+let test_region_humongous_contiguous () =
+  let _, r = make_region () in
+  (* Claim regions 0 and 2, leaving a 1-region hole at 1: a 2-region
+     humongous group must skip the hole. *)
+  r.Rh.regions.(0).Rh.kind <- Rh.Old_region;
+  r.Rh.regions.(2).Rh.kind <- Rh.Old_region;
+  let id = Option.get (Rh.alloc_humongous r ~size:(2 * mb)) in
+  let o = Os.get r.Rh.store id in
+  (match o.Os.loc with
+  | Os.Region idx ->
+      Alcotest.(check bool) "starts after the hole" true (idx >= 3)
+  | _ -> Alcotest.fail "not region-allocated");
+  r.Rh.regions.(0).Rh.kind <- Rh.Free;
+  r.Rh.regions.(2).Rh.kind <- Rh.Free
+
+let test_region_remset () =
+  let s, r = make_region () in
+  let a = Option.get (Rh.alloc_young r ~size:1000) in
+  (* Force b into another region. *)
+  let reg = Option.get (Rh.take_free_region r Rh.Old_region) in
+  let b = Option.get (Rh.alloc_in_region r reg ~size:1000) in
+  Rh.record_store r ~parent:a ~child:b;
+  let rb = Rh.region_of r (Os.get s b) in
+  Alcotest.(check bool) "cross-region remset entry" true
+    (Hashtbl.mem rb.Rh.remset a);
+  (* Same-region stores do not pollute the remset. *)
+  let c = Option.get (Rh.alloc_in_region r reg ~size:1000) in
+  Rh.record_store r ~parent:b ~child:c;
+  Alcotest.(check bool) "no same-region entry" false
+    (Hashtbl.mem rb.Rh.remset b)
+
+let test_region_release () =
+  let s, r = make_region () in
+  let a = Option.get (Rh.alloc_young r ~size:1000) in
+  let reg = Rh.region_of r (Os.get s a) in
+  Rh.release_region r reg;
+  Alcotest.(check bool) "object freed" false (Os.is_live s a);
+  Alcotest.(check int) "region free" 64 (Rh.free_regions r);
+  Alcotest.(check bool) "invariants" true (Result.is_ok (Rh.check_invariants r))
+
+let prop_region_invariants =
+  QCheck.Test.make ~name:"region heap invariants under random traffic"
+    ~count:60
+    QCheck.(list (int_range 1 (2 * mb)))
+    (fun sizes ->
+      let s = Os.create () in
+      let r = Rh.create s ~heap_bytes:(32 * mb) ~target_regions:32 () in
+      List.iter
+        (fun size ->
+          if Rh.is_humongous r ~size then begin
+            match Rh.alloc_humongous r ~size with
+            | Some id when size mod 3 = 0 -> Rh.release_humongous r id
+            | Some _ | None -> ()
+          end
+          else begin
+            match Rh.alloc_young r ~size with
+            | Some _ -> ()
+            | None ->
+                (* Release every eden region, as a young collection with
+                   no survivors would. *)
+                List.iter (fun reg -> Rh.release_region r reg) (Rh.eden_regions r)
+          end)
+        sizes;
+      Result.is_ok (Rh.check_invariants r))
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "obj_store",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_store_alloc_free;
+          Alcotest.test_case "slot recycling" `Quick test_store_recycles_slots;
+          Alcotest.test_case "double free" `Quick test_store_double_free;
+          Alcotest.test_case "stale get" `Quick test_store_stale_get;
+          Alcotest.test_case "refs" `Quick test_store_refs;
+          Alcotest.test_case "live ids" `Quick test_store_live_ids;
+        ] );
+      ( "gen_heap",
+        [
+          Alcotest.test_case "layout" `Quick test_gen_layout;
+          Alcotest.test_case "bad config" `Quick test_gen_bad_config;
+          Alcotest.test_case "eden alloc" `Quick test_gen_alloc_eden;
+          Alcotest.test_case "old direct alloc" `Quick test_gen_alloc_old_direct;
+          Alcotest.test_case "card table" `Quick test_gen_card_table;
+          Alcotest.test_case "invariants" `Quick test_gen_invariants;
+          Alcotest.test_case "registry compaction" `Quick test_gen_compact_registries;
+          QCheck_alcotest.to_alcotest prop_gen_accounting;
+        ] );
+      ( "region_heap",
+        [
+          Alcotest.test_case "create" `Quick test_region_create;
+          Alcotest.test_case "young alloc" `Quick test_region_alloc_young;
+          Alcotest.test_case "humongous" `Quick test_region_humongous;
+          Alcotest.test_case "humongous contiguity" `Quick test_region_humongous_contiguous;
+          Alcotest.test_case "remset" `Quick test_region_remset;
+          Alcotest.test_case "release" `Quick test_region_release;
+          QCheck_alcotest.to_alcotest prop_region_invariants;
+        ] );
+    ]

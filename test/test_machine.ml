@@ -1,0 +1,100 @@
+(* Tests for the hardware model: topology, speedup law, safepoint and
+   allocation costs. *)
+
+module Machine = Gcperf_machine.Machine
+
+let server = Machine.paper_server ()
+let client = Machine.paper_client ()
+
+let test_topology () =
+  Alcotest.(check int) "48 cores" 48 (Machine.cores server);
+  Alcotest.(check int) "8 NUMA nodes" 8 (Machine.numa_nodes server.Machine.topology);
+  Alcotest.(check int) "16-core client" 16 (Machine.cores client)
+
+let test_speedup_basics () =
+  Alcotest.(check (float 1e-9)) "1 worker" 1.0 (Machine.parallel_speedup server 1);
+  let s2 = Machine.parallel_speedup server 2 in
+  Alcotest.(check bool) "2 workers sublinear" true (s2 > 1.0 && s2 < 2.0)
+
+let test_speedup_monotone () =
+  let prev = ref 0.0 in
+  for n = 1 to 48 do
+    let s = Machine.parallel_speedup server n in
+    Alcotest.(check bool) "monotone nondecreasing" true (s >= !prev -. 1e-9);
+    Alcotest.(check bool) "below linear" true (s <= float_of_int n +. 1e-9);
+    prev := s
+  done
+
+let test_speedup_numa_penalty () =
+  (* Crossing the 6-core NUMA node must cost: the marginal speedup of the
+     7th worker is far below that of the 2nd. *)
+  let d n = Machine.parallel_speedup server (n + 1) -. Machine.parallel_speedup server n in
+  Alcotest.(check bool) "NUMA knee" true (d 6 < d 1 /. 2.0)
+
+let test_safepoint_grows () =
+  let t10 = Machine.time_to_safepoint server ~mutator_threads:10 in
+  let t100 = Machine.time_to_safepoint server ~mutator_threads:100 in
+  Alcotest.(check bool) "grows with threads" true (t100 > t10)
+
+let test_phase_us () =
+  let small = Machine.phase_us server ~rate:1000.0 ~workers:1 ~bytes:1_000_000 in
+  Alcotest.(check bool) "positive" true (small > 0.0);
+  let par = Machine.phase_us server ~rate:1000.0 ~workers:8 ~bytes:1_000_000 in
+  Alcotest.(check bool) "parallel faster" true (par < small)
+
+let test_phase_locality_penalty () =
+  (* Per-byte cost grows once the volume dwarfs the caches. *)
+  let per_byte bytes =
+    Machine.phase_us server ~rate:1000.0 ~workers:1 ~bytes /. float_of_int bytes
+  in
+  Alcotest.(check bool) "big volumes degrade" true
+    (per_byte 32_000_000_000 > 2.0 *. per_byte 1_000_000);
+  (* ... but the penalty saturates. *)
+  let p64 = per_byte 64_000_000_000 and p640 = per_byte 640_000_000_000 in
+  Alcotest.(check bool) "penalty capped" true (p640 < p64 *. 1.5)
+
+let test_alloc_overhead_tlab_vs_shared () =
+  let tlab =
+    Machine.alloc_overhead_us server ~tlab:true ~threads:48 ~allocations:1000
+      ~bytes:100_000_000 ~tlab_bytes:(256 * 1024)
+  in
+  let shared =
+    Machine.alloc_overhead_us server ~tlab:false ~threads:48 ~allocations:1000
+      ~bytes:100_000_000 ~tlab_bytes:(256 * 1024)
+  in
+  Alcotest.(check bool) "both positive" true (tlab > 0.0 && shared > 0.0);
+  Alcotest.(check bool) "contended shared path costs more" true (shared > tlab)
+
+let test_alloc_contention_grows () =
+  let at threads =
+    Machine.alloc_overhead_us server ~tlab:false ~threads ~allocations:1000
+      ~bytes:1_000_000 ~tlab_bytes:(256 * 1024)
+  in
+  Alcotest.(check bool) "more threads, more contention" true (at 48 > at 1)
+
+let prop_phase_additive_bound =
+  (* Splitting a phase in two cannot be slower than doing it at once
+     (the penalty grows with volume). *)
+  QCheck.Test.make ~name:"phase cost superadditive" ~count:100
+    QCheck.(pair (int_range 1 1_000_000_000) (int_range 1 1_000_000_000))
+    (fun (a, b) ->
+      let f bytes = Machine.phase_us server ~rate:700.0 ~workers:4 ~bytes in
+      f a +. f b <= f (a + b) +. 1e-6)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "topology" `Quick test_topology;
+          Alcotest.test_case "speedup basics" `Quick test_speedup_basics;
+          Alcotest.test_case "speedup monotone" `Quick test_speedup_monotone;
+          Alcotest.test_case "NUMA penalty" `Quick test_speedup_numa_penalty;
+          Alcotest.test_case "safepoint grows" `Quick test_safepoint_grows;
+          Alcotest.test_case "phase cost" `Quick test_phase_us;
+          Alcotest.test_case "locality penalty" `Quick test_phase_locality_penalty;
+          Alcotest.test_case "tlab vs shared alloc" `Quick test_alloc_overhead_tlab_vs_shared;
+          Alcotest.test_case "contention grows" `Quick test_alloc_contention_grows;
+          QCheck_alcotest.to_alcotest prop_phase_additive_bound;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Unit and property tests for the util library: PRNG, vectors, heaps. *)
+
+module Prng = Gcperf_util.Prng
+module Vec = Gcperf_util.Vec
+module Heapq = Gcperf_util.Heapq
+
+(* --- Prng ----------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 7 in
+  let c = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true
+    (Prng.bits64 a <> Prng.bits64 c)
+
+let test_prng_copy () =
+  let a = Prng.create 9 in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_int_range () =
+  let p = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_range () =
+  let p = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in p (-5) 5 in
+    Alcotest.(check bool) "in [lo,hi]" true (x >= -5 && x <= 5)
+  done
+
+let test_float_range () =
+  let p = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Prng.float p 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_chance_extremes () =
+  let p = Prng.create 6 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance p 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance p 1.0)
+
+let test_chance_rate () =
+  let p = Prng.create 8 in
+  let hits = ref 0 in
+  for _ = 1 to 100_000 do
+    if Prng.chance p 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 100_000.0 in
+  Alcotest.(check bool) "about 30%" true (rate > 0.28 && rate < 0.32)
+
+let test_shuffle_permutation () =
+  let p = Prng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_exponential_mean () =
+  let p = Prng.create 12 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.exponential p 10.0 in
+    Alcotest.(check bool) "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 10" true (mean > 9.5 && mean < 10.5)
+
+let test_gaussian_moments () =
+  let p = Prng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian p ~mean:5.0 ~stddev:2.0 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean ~ 5" true (Float.abs (mean -. 5.0) < 0.1);
+  Alcotest.(check bool) "var ~ 4" true (Float.abs (var -. 4.0) < 0.3)
+
+let test_zipf_bounds () =
+  let p = Prng.create 14 in
+  for _ = 1 to 10_000 do
+    let x = Prng.zipf p ~n:100 ~theta:0.99 in
+    Alcotest.(check bool) "in [0,100)" true (x >= 0 && x < 100)
+  done
+
+let test_zipf_skew () =
+  let p = Prng.create 15 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let x = Prng.zipf p ~n:100 ~theta:0.99 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Alcotest.(check bool) "rank 0 hottest" true (counts.(0) > counts.(50));
+  Alcotest.(check bool) "heavily skewed" true
+    (float_of_int counts.(0) > 10.0 *. float_of_int (max 1 counts.(99)))
+
+let test_zipf_single () =
+  let p = Prng.create 16 in
+  Alcotest.(check int) "n=1 -> 0" 0 (Prng.zipf p ~n:1 ~theta:0.99)
+
+(* --- Vec ------------------------------------------------------------ *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "top" 99 (Vec.top v);
+  for i = 99 downto 0 do
+    Alcotest.(check int) "pop order" i (Vec.pop v)
+  done;
+  Alcotest.(check bool) "empty again" true (Vec.is_empty v)
+
+let test_vec_get_set () =
+  let v = Vec.make 5 0 in
+  Vec.set v 2 42;
+  Alcotest.(check int) "set/get" 42 (Vec.get v 2);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 5))
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let removed = Vec.swap_remove v 1 in
+  Alcotest.(check int) "removed" 2 removed;
+  Alcotest.(check (list int)) "last moved in" [ 1; 4; 3 ] (Vec.to_list v)
+
+let test_vec_filter_in_place () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens, order kept" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_vec_fold_iter () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "fold sum" 6 (Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (0, 1); (1, 2); (2, 3) ] (List.rev !acc)
+
+let test_vec_clear_retains () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check int) "reusable" 9 (Vec.get v 0)
+
+let prop_vec_model =
+  (* A vector fed by pushes and pops behaves like a list used as a stack. *)
+  QCheck.Test.make ~name:"vec models a stack" ~count:300
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Some x ->
+              Vec.push v x;
+              model := x :: !model
+          | None -> (
+              match !model with
+              | [] -> ()
+              | hd :: tl ->
+                  model := tl;
+                  assert (Vec.pop v = hd)))
+        ops;
+      List.rev !model = Vec.to_list v)
+
+(* --- Heapq ---------------------------------------------------------- *)
+
+let test_heapq_ordering () =
+  let q = Heapq.create () in
+  List.iter (fun k -> Heapq.push q k k) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heapq.pop q with
+    | None -> ()
+    | Some (k, _) ->
+        out := k :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (List.rev !out)
+
+let test_heapq_pop_until () =
+  let q = Heapq.create () in
+  List.iter (fun k -> Heapq.push q k (k * 10)) [ 3; 1; 7; 5 ];
+  let popped = Heapq.pop_until q 5 in
+  Alcotest.(check (list (pair int int)))
+    "pops keys <= 5 in order"
+    [ (1, 10); (3, 30); (5, 50) ]
+    popped;
+  Alcotest.(check int) "one left" 1 (Heapq.length q)
+
+let test_heapq_min_key () =
+  let q = Heapq.create () in
+  Alcotest.(check (option int)) "empty" None (Heapq.min_key q);
+  Heapq.push q 4 ();
+  Heapq.push q 2 ();
+  Alcotest.(check (option int)) "min" (Some 2) (Heapq.min_key q)
+
+let prop_heapq_sorted =
+  QCheck.Test.make ~name:"heapq drains sorted" ~count:300
+    QCheck.(list small_int)
+    (fun keys ->
+      let q = Heapq.create () in
+      List.iter (fun k -> Heapq.push q k ()) keys;
+      let rec drain acc =
+        match Heapq.pop q with
+        | None -> List.rev acc
+        | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_prng_copy;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int_in range" `Quick test_int_in_range;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance rate" `Quick test_chance_rate;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "zipf bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zipf single" `Quick test_zipf_single;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "get/set" `Quick test_vec_get_set;
+          Alcotest.test_case "swap_remove" `Quick test_vec_swap_remove;
+          Alcotest.test_case "filter_in_place" `Quick test_vec_filter_in_place;
+          Alcotest.test_case "fold/iteri" `Quick test_vec_fold_iter;
+          Alcotest.test_case "clear retains capacity" `Quick test_vec_clear_retains;
+          QCheck_alcotest.to_alcotest prop_vec_model;
+        ] );
+      ( "heapq",
+        [
+          Alcotest.test_case "ordering" `Quick test_heapq_ordering;
+          Alcotest.test_case "pop_until" `Quick test_heapq_pop_until;
+          Alcotest.test_case "min_key" `Quick test_heapq_min_key;
+          QCheck_alcotest.to_alcotest prop_heapq_sorted;
+        ] );
+    ]

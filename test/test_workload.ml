@@ -1,0 +1,165 @@
+(* Tests for profiles and the DaCapo-shaped mutator driver. *)
+
+module Vm = Gcperf_runtime.Vm
+module Machine = Gcperf_machine.Machine
+module Gc_config = Gcperf_gc.Gc_config
+module P = Gcperf_workload.Profile
+module Mutator = Gcperf_workload.Mutator
+
+let mb = 1024 * 1024
+let machine = Machine.paper_server ()
+
+let life =
+  {
+    P.short_frac = 0.8;
+    short_mean_bytes = 4e6;
+    medium_frac = 0.1;
+    medium_mean_bytes = 40e6;
+    iteration_frac = 0.05;
+    permanent_frac = 0.01;
+  }
+
+let small_profile =
+  {
+    P.name = "unit-test";
+    threading = P.Fixed 4;
+    iteration_alloc_bytes = 64 * mb;
+    iteration_cpu_s = 0.5;
+    size = { P.mean_bytes = 128 * 1024; sigma = 0.5 };
+    lifetime = life;
+    startup_live_bytes = 8 * mb;
+    ref_locality = 0.3;
+    update_store_prob = 0.02;
+    phase_noise = 0.0;
+    sawtooth = 2;
+  }
+
+let fresh_vm () =
+  Vm.create machine
+    (Gc_config.default Gc_config.ParallelOld ~heap_bytes:(256 * mb)
+       ~young_bytes:(64 * mb))
+    ~seed:21
+
+(* --- profile validation ---------------------------------------------- *)
+
+let test_validate_ok () =
+  Alcotest.(check bool) "valid" true (Result.is_ok (P.validate small_profile))
+
+let test_validate_fractions () =
+  let bad =
+    { small_profile with P.lifetime = { life with P.short_frac = 0.99 } }
+  in
+  Alcotest.(check bool) "fractions > 1 rejected" true
+    (Result.is_error (P.validate bad))
+
+let test_validate_empty_alloc () =
+  let bad = { small_profile with P.iteration_alloc_bytes = 0 } in
+  Alcotest.(check bool) "empty alloc rejected" true
+    (Result.is_error (P.validate bad))
+
+let test_validate_bad_locality () =
+  let bad = { small_profile with P.ref_locality = 1.5 } in
+  Alcotest.(check bool) "locality out of range" true
+    (Result.is_error (P.validate bad))
+
+let test_threads_for () =
+  Alcotest.(check int) "single" 1
+    (P.threads_for { small_profile with P.threading = P.Single } ~hw_threads:48);
+  Alcotest.(check int) "per-hw" 48
+    (P.threads_for
+       { small_profile with P.threading = P.Per_hw_thread }
+       ~hw_threads:48);
+  Alcotest.(check int) "fixed" 4 (P.threads_for small_profile ~hw_threads:48)
+
+(* --- mutator --------------------------------------------------------- *)
+
+let test_mutator_setup () =
+  let vm = fresh_vm () in
+  let m = Mutator.create vm small_profile ~seed:3 in
+  Alcotest.(check int) "threads spawned" 4 (Mutator.thread_count m);
+  Alcotest.(check bool) "live set built" true (Mutator.live_set_size m > 0);
+  Alcotest.(check bool) "startup data allocated" true
+    (Vm.allocated_bytes vm >= 8 * mb)
+
+let test_iteration_stats () =
+  let vm = fresh_vm () in
+  let m = Mutator.create vm small_profile ~seed:3 in
+  let s1 = Mutator.run_iteration m in
+  let s2 = Mutator.run_iteration m in
+  Alcotest.(check int) "indices" 1 s1.Mutator.index;
+  Alcotest.(check int) "indices" 2 s2.Mutator.index;
+  Alcotest.(check bool) "duration at least cpu time" true
+    (s1.Mutator.duration_s >= 0.5 -. 1e-6);
+  let tol = small_profile.P.iteration_alloc_bytes / 10 in
+  Alcotest.(check bool) "allocates the configured volume" true
+    (abs (s1.Mutator.allocated_bytes - small_profile.P.iteration_alloc_bytes)
+    < tol)
+
+let test_iteration_includes_pauses () =
+  let vm = fresh_vm () in
+  let m = Mutator.create vm small_profile ~seed:3 in
+  (* 64 MB per iteration into a 51 MB eden: collections must happen and
+     be attributed to iterations. *)
+  let total_pauses = ref 0 in
+  for _ = 1 to 3 do
+    let s = Mutator.run_iteration m in
+    total_pauses := !total_pauses + s.Mutator.pauses
+  done;
+  Alcotest.(check bool) "pauses attributed" true (!total_pauses > 0)
+
+let test_mutator_determinism () =
+  let run () =
+    let vm = fresh_vm () in
+    let m = Mutator.create vm small_profile ~seed:3 in
+    let s = Mutator.run_iteration m in
+    s.Mutator.duration_s
+  in
+  Alcotest.(check (float 0.0)) "deterministic" (run ()) (run ())
+
+let test_phase_noise_varies_iterations () =
+  let noisy = { small_profile with P.phase_noise = 0.2 } in
+  let vm = fresh_vm () in
+  let m = Mutator.create vm noisy ~seed:3 in
+  let a = Mutator.run_iteration m in
+  let b = Mutator.run_iteration m in
+  Alcotest.(check bool) "iterations differ under noise" true
+    (a.Mutator.allocated_bytes <> b.Mutator.allocated_bytes)
+
+let test_run_seconds () =
+  let vm = fresh_vm () in
+  let m = Mutator.create vm small_profile ~seed:3 in
+  let t0 = Vm.now_s vm in
+  Mutator.run_seconds m 0.25;
+  Alcotest.(check bool) "advanced about 0.25s" true (Vm.now_s vm -. t0 >= 0.25)
+
+let prop_iteration_positive =
+  QCheck.Test.make ~name:"iterations have positive duration" ~count:10
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let vm = fresh_vm () in
+      let m = Mutator.create vm small_profile ~seed in
+      let s = Mutator.run_iteration m in
+      s.Mutator.duration_s > 0.0 && s.Mutator.allocated_bytes > 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "valid profile" `Quick test_validate_ok;
+          Alcotest.test_case "fraction check" `Quick test_validate_fractions;
+          Alcotest.test_case "alloc check" `Quick test_validate_empty_alloc;
+          Alcotest.test_case "locality check" `Quick test_validate_bad_locality;
+          Alcotest.test_case "threads_for" `Quick test_threads_for;
+        ] );
+      ( "mutator",
+        [
+          Alcotest.test_case "setup" `Quick test_mutator_setup;
+          Alcotest.test_case "iteration stats" `Quick test_iteration_stats;
+          Alcotest.test_case "pauses attributed" `Quick test_iteration_includes_pauses;
+          Alcotest.test_case "determinism" `Quick test_mutator_determinism;
+          Alcotest.test_case "phase noise" `Quick test_phase_noise_varies_iterations;
+          Alcotest.test_case "run_seconds" `Quick test_run_seconds;
+          QCheck_alcotest.to_alcotest prop_iteration_positive;
+        ] );
+    ]

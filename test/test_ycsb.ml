@@ -1,0 +1,130 @@
+(* Tests for the YCSB-like client and its latency model. *)
+
+module Client = Gcperf_ycsb.Client
+module Stats = Gcperf_stats.Stats
+
+let base_workload =
+  {
+    Client.paper_workload with
+    Client.duration_s = 100.0;
+    ops_per_s = 100.0;
+    jitter_sigma = 0.0;
+  }
+
+let test_point_count () =
+  let pts = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:1 in
+  (* Poisson arrivals: ~10000 expected. *)
+  let n = Array.length pts in
+  Alcotest.(check bool) "about rate*duration points" true
+    (n > 9_000 && n < 11_000)
+
+let test_mix () =
+  let pts = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:1 in
+  let reads =
+    Array.fold_left
+      (fun a p -> if p.Client.kind = Client.Read then a + 1 else a)
+      0 pts
+  in
+  let frac = float_of_int reads /. float_of_int (Array.length pts) in
+  Alcotest.(check bool) "about 50% reads" true (frac > 0.45 && frac < 0.55)
+
+let test_no_pauses_no_correlation () =
+  let pts = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:1 in
+  Alcotest.(check bool) "no GC-correlated points" true
+    (Array.for_all (fun p -> not p.Client.gc_correlated) pts)
+
+let test_pause_inflates_latency () =
+  (* One 2-second pause in the middle of the run. *)
+  let pauses = [| (50.0, 52.0) |] in
+  let pts = Client.run base_workload ~pauses ~db_timeline:[||] ~seed:1 in
+  let caught =
+    Array.to_list pts
+    |> List.filter (fun p -> p.Client.time_s >= 50.0 && p.Client.time_s <= 52.0)
+  in
+  Alcotest.(check bool) "requests arrived during the pause" true
+    (caught <> []);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "flagged as GC-correlated" true
+        p.Client.gc_correlated;
+      (* A request caught at time t waits at least until the pause end. *)
+      let min_wait_ms = (52.0 -. p.Client.time_s) *. 1e3 in
+      Alcotest.(check bool) "waited for the pause end" true
+        (p.Client.latency_ms >= min_wait_ms))
+    caught;
+  (* Points far from the pause stay fast. *)
+  let far =
+    Array.to_list pts
+    |> List.filter (fun p -> p.Client.time_s < 40.0)
+    |> List.map (fun p -> p.Client.latency_ms)
+  in
+  Alcotest.(check bool) "clean points stay near base latency" true
+    (List.for_all (fun l -> l < 20.0) far)
+
+let test_update_latency_flat_read_steps () =
+  (* Database growing by 8 GB steps: reads slow down, updates do not. *)
+  let gb = 1024 * 1024 * 1024 in
+  let db_timeline = [| (0.0, 0); (50.0, 16 * gb) |] in
+  let pts = Client.run base_workload ~pauses:[||] ~db_timeline ~seed:2 in
+  let avg kind early =
+    let sel =
+      Array.to_list pts
+      |> List.filter (fun p ->
+             p.Client.kind = kind
+             && if early then p.Client.time_s < 50.0 else p.Client.time_s >= 50.0)
+      |> List.map (fun p -> p.Client.latency_ms)
+    in
+    Stats.mean (Array.of_list sel)
+  in
+  Alcotest.(check bool) "reads step up" true
+    (avg Client.Read false > avg Client.Read true +. 0.5);
+  Alcotest.(check bool) "updates stay flat" true
+    (Float.abs (avg Client.Update false -. avg Client.Update true) < 0.1)
+
+let test_report_selects_kind () =
+  let pts = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:3 in
+  let r = Client.report pts ~kind:Client.Update in
+  Alcotest.(check bool) "update avg near base" true
+    (Float.abs (r.Stats.avg_ms -. base_workload.Client.update_base_ms) < 0.2)
+
+let test_determinism () =
+  let a = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:4 in
+  let b = Client.run base_workload ~pauses:[||] ~db_timeline:[||] ~seed:4 in
+  Alcotest.(check int) "same count" (Array.length a) (Array.length b);
+  Alcotest.(check bool) "same points" true (a = b)
+
+let prop_latency_positive =
+  QCheck.Test.make ~name:"latencies are positive" ~count:30
+    QCheck.(pair small_int (list (pair (float_range 0.0 90.0) (float_range 0.0 3.0))))
+    (fun (seed, raw) ->
+      let pauses =
+        raw
+        |> List.map (fun (s, d) -> (s, s +. d))
+        |> List.sort compare
+        |> Array.of_list
+      in
+      let pts =
+        Client.run
+          { base_workload with Client.duration_s = 30.0 }
+          ~pauses ~db_timeline:[||] ~seed
+      in
+      Array.for_all (fun p -> p.Client.latency_ms > 0.0) pts)
+
+let () =
+  Alcotest.run "ycsb"
+    [
+      ( "client",
+        [
+          Alcotest.test_case "point count" `Quick test_point_count;
+          Alcotest.test_case "read/update mix" `Quick test_mix;
+          Alcotest.test_case "no pauses, no correlation" `Quick
+            test_no_pauses_no_correlation;
+          Alcotest.test_case "pause inflates latency" `Quick
+            test_pause_inflates_latency;
+          Alcotest.test_case "read steps, updates flat" `Quick
+            test_update_latency_flat_read_steps;
+          Alcotest.test_case "report by kind" `Quick test_report_selects_kind;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          QCheck_alcotest.to_alcotest prop_latency_positive;
+        ] );
+    ]
