@@ -8,7 +8,15 @@
      artifact.
    - "micro": collector primitives (allocation, young collection, full
      collection, concurrent cycle, client generation) so regressions in
-     the simulator itself are visible independently of the campaigns. *)
+     the simulator itself are visible independently of the campaigns.
+
+   Options:
+
+   - [--only micro,paper,server] restricts the groups that run;
+   - [--quota SECONDS] overrides the per-test measurement quota;
+   - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
+     list of [{"name": ..., "ns_per_run": ...}] records (the perf
+     trajectory file BENCH_micro.json is produced this way). *)
 
 open Bechamel
 open Toolkit
@@ -146,8 +154,8 @@ let benchmark tests ~quota_s ~limit =
   let raw = Benchmark.all cfg instances tests in
   Analyze.all ols Instance.monotonic_clock raw
 
-let print_results label results =
-  Printf.printf "== %s ==\n%!" label;
+(* Flattens an analysis into sorted (name, ns/run) rows. *)
+let rows_of results =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
@@ -158,29 +166,97 @@ let print_results label results =
       in
       rows := (name, est) :: !rows)
     results;
+  List.sort compare !rows
+
+let print_results label rows =
+  Printf.printf "== %s ==\n%!" label;
   List.iter
     (fun (name, est) ->
       if Float.is_nan est then Printf.printf "  %-32s (no estimate)\n" name
       else Printf.printf "  %-32s %12.3f ms/run\n" name (est /. 1e6))
-    (List.sort compare !rows);
+    rows;
   print_newline ()
 
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+        (if Float.is_nan est then "null" else Printf.sprintf "%.3f" est)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* --- options ----------------------------------------------------------- *)
+
+type opts = {
+  json : string option;
+  only : string list;  (* empty = all groups *)
+  quota : float option;
+  limit : int option;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--only micro,paper,server] [--quota SECONDS] \
+     [--limit RUNS] [--json PATH]";
+  exit 2
+
+let parse_opts () =
+  let opts = ref { json = None; only = []; quota = None; limit = None } in
+  let rec go = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        opts := { !opts with json = Some path };
+        go rest
+    | "--only" :: groups :: rest ->
+        opts := { !opts with only = String.split_on_char ',' groups };
+        go rest
+    | "--quota" :: s :: rest -> (
+        match float_of_string_opt s with
+        | Some q when q > 0.0 ->
+            opts := { !opts with quota = Some q };
+            go rest
+        | Some _ | None -> usage ())
+    | "--limit" :: s :: rest -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 ->
+            opts := { !opts with limit = Some n };
+            go rest
+        | Some _ | None -> usage ())
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !opts
+
 let () =
-  let micro =
-    benchmark (Test.make_grouped ~name:"micro" micro_tests) ~quota_s:0.5
-      ~limit:500
+  let opts = parse_opts () in
+  let enabled g = opts.only = [] || List.mem g opts.only in
+  let quota default = Option.value opts.quota ~default in
+  let limit default = Option.value opts.limit ~default in
+  let all_rows = ref [] in
+  let run_group g label tests ~quota_s ~lim =
+    if enabled g then begin
+      let rows =
+        rows_of
+          (benchmark
+             (Test.make_grouped ~name:g tests)
+             ~quota_s:(quota quota_s) ~limit:(limit lim))
+      in
+      print_results label rows;
+      all_rows := !all_rows @ rows
+    end
   in
-  print_results "micro (simulator primitives)" micro;
-  let paper =
-    benchmark
-      (Test.make_grouped ~name:"paper" experiment_tests)
-      ~quota_s:1.0 ~limit:2
-  in
-  print_results "paper artifacts (quick mode)" paper;
-  let server =
-    benchmark (Test.make_grouped ~name:"server" server_tests) ~quota_s:1.0
-      ~limit:2
-  in
-  print_results "client-server campaigns (scaled)" server;
-  print_endline
-    "note: `gcperf run <id>` regenerates each table/figure at full scale."
+  run_group "micro" "micro (simulator primitives)" micro_tests ~quota_s:0.5
+    ~lim:500;
+  run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
+    ~lim:2;
+  run_group "server" "client-server campaigns (scaled)" server_tests
+    ~quota_s:1.0 ~lim:2;
+  Option.iter (fun path -> write_json path !all_rows) opts.json;
+  if enabled "paper" then
+    print_endline
+      "note: `gcperf run <id>` regenerates each table/figure at full scale."

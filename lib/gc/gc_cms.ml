@@ -1,4 +1,4 @@
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
 module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
@@ -10,7 +10,7 @@ type phase =
   | Sweeping of {
       total_bytes : float;  (* sweep work fixed at remark time *)
       mutable remaining_bytes : float;
-      victims : int Vec.t;  (* old ids condemned at remark *)
+      victims : Vec.t;  (* old ids condemned at remark *)
       mutable cursor : int;  (* victims already freed *)
       mutable garbage_bytes : int;
     }
@@ -98,29 +98,25 @@ let create ctx (config : Gc_config.t) =
       ~young_after:young ~old_before:old ~old_after:old ~promoted:0;
     st.phase <- Marking { remaining_bytes = float_of_int heap.Gh.old_used }
   in
+  let victims_scratch = Vec.create () in
   let remark () =
     (* The real trace happens here: live objects get marked, and every old
-       object left unmarked is condemned for the concurrent sweep. *)
-    let marked = Gen_algo.trace_all ctx heap in
-    let victims = Vec.create () in
+       object left unmarked is condemned for the concurrent sweep.  The
+       victims vector is reused across cycles (only one sweep runs at a
+       time), and mark stamps go stale on their own at the next trace. *)
+    ignore (Gen_algo.trace_all ctx heap);
+    let victims = victims_scratch in
+    Vec.clear victims;
     let garbage = ref 0 in
     Vec.iter
       (fun id ->
-        if Os.is_live store id then begin
-          let o = Os.get store id in
-          if o.Os.loc = Os.Old && not o.Os.marked then begin
-            Vec.push victims id;
-            garbage := !garbage + o.Os.size
-          end
+        let o = Os.slot store id in
+        if Os.is_old_loc o.Os.loc && not (Os.is_marked store o) then begin
+          Vec.push victims id;
+          garbage := !garbage + o.Os.size
         end)
       heap.Gh.old_ids;
-    Gen_algo.clear_marks store marked;
-    let card_bytes =
-      Hashtbl.fold
-        (fun pid () acc ->
-          if Os.is_live store pid then acc + (Os.get store pid).Os.size else acc)
-        heap.Gh.dirty_cards 0
-    in
+    let card_bytes = Gh.dirty_live_bytes heap in
     let duration =
       Gc_ctx.stw_begin_us ctx
       +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
@@ -148,16 +144,13 @@ let create ctx (config : Gc_config.t) =
           garbage_bytes = !garbage;
         }
   in
-  let finish_sweep (victims : int Vec.t) cursor garbage_bytes =
+  let finish_sweep (victims : Vec.t) cursor garbage_bytes =
     (* Free whatever the incremental sweep has not yet released. *)
     for i = cursor to Vec.length victims - 1 do
-      let id = Vec.get victims i in
-      if Os.is_live store id then begin
-        let o = Os.get store id in
-        if o.Os.loc = Os.Old then begin
-          heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
-          Os.free store id
-        end
+      let o = Os.slot store (Vec.get victims i) in
+      if Os.is_old_loc o.Os.loc then begin
+        heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
+        Os.free_obj store o
       end
     done;
     Gh.compact_registries heap;
@@ -186,8 +179,9 @@ let create ctx (config : Gc_config.t) =
     | exception Gen_algo.Promotion_failure -> concurrent_mode_failure ());
     maybe_start_cycle ()
   in
+  let eden_cap = heap.Gh.eden_cap in
   let alloc ~size =
-    if size > heap.Gh.eden_cap then begin
+    if size > eden_cap then begin
       match Gh.alloc_old_direct heap ~size with
       | Some id ->
           maybe_start_cycle ();
@@ -202,21 +196,22 @@ let create ctx (config : Gc_config.t) =
                    (Printf.sprintf "%s: cannot fit %d-byte object" name size)))
     end
     else begin
-      match Gh.alloc_eden heap ~size with
-      | Some id -> id
-      | None -> (
-          minor "allocation failure";
-          match Gh.alloc_eden heap ~size with
-          | Some id -> id
-          | None -> (
-              full "allocation failure";
-              match Gh.alloc_eden heap ~size with
-              | Some id -> id
-              | None ->
-                  raise
-                    (Gc_ctx.Out_of_memory
-                       (Printf.sprintf "%s: heap exhausted allocating %d bytes"
-                          name size))))
+      let id = Gh.alloc_eden_id heap ~size in
+      if id >= 0 then id
+      else begin
+        minor "allocation failure";
+        match Gh.alloc_eden heap ~size with
+        | Some id -> id
+        | None -> (
+            full "allocation failure";
+            match Gh.alloc_eden heap ~size with
+            | Some id -> id
+            | None ->
+                raise
+                  (Gc_ctx.Out_of_memory
+                     (Printf.sprintf "%s: heap exhausted allocating %d bytes"
+                        name size)))
+      end
     end
   in
   let tick ~dt_us =
@@ -245,12 +240,10 @@ let create ctx (config : Gc_config.t) =
         let target = min target total in
         while sw.cursor < target do
           let id = Vec.get sw.victims sw.cursor in
-          if Os.is_live store id then begin
-            let o = Os.get store id in
-            if o.Os.loc = Os.Old then begin
-              heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
-              Os.free store id
-            end
+          let o = Os.slot store id in
+          if Os.is_old_loc o.Os.loc then begin
+            heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
+            Os.free_obj store o
           end;
           sw.cursor <- sw.cursor + 1
         done;

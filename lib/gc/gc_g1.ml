@@ -1,4 +1,4 @@
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
 module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
@@ -75,18 +75,35 @@ let create ctx (config : Gc_config.t) =
   let young_used () =
     Rh.used_of_kind rheap Rh.Eden + Rh.used_of_kind rheap Rh.Survivor
   in
-  (* Global trace over the region heap; returns marked ids. *)
+  (* Per-collection scratch, hoisted so steady-state evacuation pauses
+     allocate nothing in the host runtime.  Contents are only valid within
+     one collection; trace_all and trace_collection_set use disjoint mark
+     scratch because an evacuation failure runs a full trace while the
+     collection-set trace results are still in scope. *)
+  let g_marked = Vec.create () and g_stack = Vec.create () in
+  let cs_marked = Vec.create () and cs_stack = Vec.create () in
+  let ext_src = Vec.create () and ext_child = Vec.create () in
+  let stale_scratch = Vec.create () in
+  let surv_scratch = Vec.create () and prom_scratch = Vec.create () in
+  let cset_scratch = Vec.create () in
+  let collected_scratch = ref [||] in
+  (* Global trace over the region heap; returns marked ids (scratch, valid
+     until the next trace).  Marks are epoch stamps: no clearing pass. *)
   let trace_all () =
-    let marked = Vec.create () and stack = Vec.create () in
+    let marked = g_marked and stack = g_stack in
+    Vec.clear marked;
+    Vec.clear stack;
+    Os.begin_trace store;
     let push id =
-      if Os.is_live store id then begin
-        let o = Os.get store id in
-        if not o.Os.marked then begin
-          o.Os.marked <- true;
-          Vec.push marked id;
-          Vec.push stack id
-        end
-      end
+      let o = Os.slot store id in
+      match o.Os.loc with
+      | Os.Nowhere -> ()
+      | _ ->
+          if not (Os.is_marked store o) then begin
+            Os.mark store o;
+            Vec.push marked id;
+            Vec.push stack id
+          end
     in
     ctx.Gc_ctx.iter_roots push;
     while not (Vec.is_empty stack) do
@@ -94,76 +111,69 @@ let create ctx (config : Gc_config.t) =
     done;
     marked
   in
-  let clear_marks marked =
-    Vec.iter
-      (fun id ->
-        if Os.is_live store id then (Os.get store id).Os.marked <- false)
-      marked
-  in
   (* Partial trace of the collection set: roots plus remembered sets.
      Dead or irrelevant remset entries are pruned as they are scanned,
-     which is exactly the work a G1 evacuation pause pays for. *)
+     which is exactly the work a G1 evacuation pause pays for.  External
+     (source, child) pairs land in the parallel ext_src/ext_child scratch
+     vectors. *)
   let trace_collection_set collected =
-    let marked = Vec.create () and stack = Vec.create () in
+    let marked = cs_marked and stack = cs_stack in
+    Vec.clear marked;
+    Vec.clear stack;
+    Vec.clear ext_src;
+    Vec.clear ext_child;
+    Os.begin_trace store;
     let remset_bytes = ref 0 in
-    let external_refs = Vec.create () in  (* (outside source, cset child) *)
-    let in_cset id =
-      match (Os.get store id).Os.loc with
-      | Os.Region r -> collected.(r)
-      | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> false
-    in
     let push id =
-      if Os.is_live store id && in_cset id then begin
-        let o = Os.get store id in
-        if not o.Os.marked then begin
-          o.Os.marked <- true;
-          Vec.push marked id;
-          Vec.push stack id
-        end
-      end
+      let o = Os.slot store id in
+      match o.Os.loc with
+      | Os.Region r when collected.(r) ->
+          if not (Os.is_marked store o) then begin
+            Os.mark store o;
+            Vec.push marked id;
+            Vec.push stack id
+          end
+      | Os.Region _ | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> ()
     in
     ctx.Gc_ctx.iter_roots push;
     Array.iter
       (fun r ->
         if collected.(r.Rh.idx) then begin
-          let stale = ref [] in
+          let stale = stale_scratch in
+          Vec.clear stale;
           Hashtbl.iter
             (fun src () ->
-              if not (Os.is_live store src) then stale := src :: !stale
-              else begin
-                let so = Os.get store src in
-                match so.Os.loc with
-                | Os.Region sr when collected.(sr) ->
-                    (* The source is itself being collected: if it is
-                       live the trace reaches it; if dead, its references
-                       die with it.  Either way the entry is obsolete. *)
-                    stale := src :: !stale
-                | Os.Region _ ->
-                    remset_bytes := !remset_bytes + so.Os.size;
-                    let relevant = ref false in
-                    Vec.iter
-                      (fun child ->
-                        if Os.is_live store child then begin
-                          match (Os.get store child).Os.loc with
-                          | Os.Region cr when cr = r.Rh.idx ->
-                              relevant := true;
-                              Vec.push external_refs (src, child);
-                              push child
-                          | _ -> ()
-                        end)
-                      so.Os.refs;
-                    if not !relevant then stale := src :: !stale
-                | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere ->
-                    stale := src :: !stale
-              end)
+              let so = Os.slot store src in
+              match so.Os.loc with
+              | Os.Region sr when collected.(sr) ->
+                  (* The source is itself being collected: if it is
+                     live the trace reaches it; if dead, its references
+                     die with it.  Either way the entry is obsolete. *)
+                  Vec.push stale src
+              | Os.Region _ ->
+                  remset_bytes := !remset_bytes + so.Os.size;
+                  let relevant = ref false in
+                  Vec.iter
+                    (fun child ->
+                      match (Os.slot store child).Os.loc with
+                      | Os.Region cr when cr = r.Rh.idx ->
+                          relevant := true;
+                          Vec.push ext_src src;
+                          Vec.push ext_child child;
+                          push child
+                      | _ -> ())
+                    so.Os.refs;
+                  if not !relevant then Vec.push stale src
+              | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere ->
+                  Vec.push stale src)
             r.Rh.remset;
-          List.iter (fun s -> Hashtbl.remove r.Rh.remset s) !stale
+          Vec.iter (fun s -> Hashtbl.remove r.Rh.remset s) stale
         end)
       rheap.Rh.regions;
     while not (Vec.is_empty stack) do
       Vec.iter push (Os.get store (Vec.pop stack)).Os.refs
     done;
-    (marked, !remset_bytes, external_refs)
+    (marked, !remset_bytes)
   in
   let record ~kind ~reason ~duration ~young_before ~old_before ~promoted =
     Gc_ctx.record_pause ctx ~collector:name ~kind ~reason ~duration_us:duration
@@ -203,13 +213,11 @@ let create ctx (config : Gc_config.t) =
     let young_before = young_used () and old_before = old_hum_used () in
     let marked = trace_all () in
     let live = Vec.fold (fun a id -> a + (Os.get store id).Os.size) 0 marked in
-    if live > rheap.Rh.heap_bytes then begin
-      clear_marks marked;
+    if live > rheap.Rh.heap_bytes then
       raise
         (Gc_ctx.Out_of_memory
            (Printf.sprintf "G1: live data (%d) exceeds heap (%d)" live
-              rheap.Rh.heap_bytes))
-    end;
+              rheap.Rh.heap_bytes));
     (* Collect the live movable objects; free everything else. *)
     let movable = Vec.create () in
     let freed = ref 0 in
@@ -223,13 +231,14 @@ let create ctx (config : Gc_config.t) =
               Vec.iter
                 (fun id ->
                   let o = Os.get store id in
-                  if not o.Os.marked then dead_humongous := id :: !dead_humongous)
+                  if not (Os.is_marked store o) then
+                    dead_humongous := id :: !dead_humongous)
                 r.Rh.objects
         | Rh.Eden | Rh.Survivor | Rh.Old_region ->
             Vec.iter
               (fun id ->
                 let o = Os.get store id in
-                if o.Os.marked then Vec.push movable id
+                if Os.is_marked store o then Vec.push movable id
                 else begin
                   freed := !freed + o.Os.size;
                   r.Rh.used <- r.Rh.used - o.Os.size;
@@ -244,27 +253,19 @@ let create ctx (config : Gc_config.t) =
         freed := !freed + o.Os.size;
         Rh.release_humongous rheap id)
       !dead_humongous;
-    (* Slide the movable objects into freshly packed old regions.  Marks
-       double as "already moved" flags: we clear each object's mark when
-       we re-place it. *)
+    (* Slide the movable objects into freshly packed old regions.  Epoch
+       mark stamps go stale at the next trace on their own. *)
     Array.iter
       (fun r ->
         match r.Rh.kind with
-        | Rh.Eden | Rh.Survivor | Rh.Old_region ->
-            Vec.clear r.Rh.objects;
-            Hashtbl.reset r.Rh.remset;
-            r.Rh.kind <- Rh.Free;
-            r.Rh.used <- 0;
-            r.Rh.live_bytes <- 0
+        | Rh.Eden | Rh.Survivor | Rh.Old_region -> Rh.retire_region rheap r
         | Rh.Humongous | Rh.Free -> ())
       rheap.Rh.regions;
-    rheap.Rh.current_alloc <- -1;
     let target = ref None in
     let moved_bytes = ref 0 in
     Vec.iter
       (fun id ->
         let o = Os.get store id in
-        o.Os.marked <- false;
         (* Everything that survives a full collection is old data. *)
         o.Os.age <- max o.Os.age config.Gc_config.tenuring_threshold;
         moved_bytes := !moved_bytes + o.Os.size;
@@ -286,25 +287,14 @@ let create ctx (config : Gc_config.t) =
         in
         place ())
       movable;
-    (* Humongous marks must also be cleared. *)
-    Array.iter
-      (fun r ->
-        if r.Rh.kind = Rh.Humongous then
-          Vec.iter
-            (fun id ->
-              if Os.is_live store id then (Os.get store id).Os.marked <- false)
-            r.Rh.objects)
-      rheap.Rh.regions;
     (* Rebuild remembered sets exactly: cross-region references only. *)
     Os.iter_live store (fun o ->
         Vec.iter
           (fun child ->
-            if Os.is_live store child then begin
-              match (o.Os.loc, (Os.get store child).Os.loc) with
-              | Os.Region rp, Os.Region rc when rp <> rc ->
-                  Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset o.Os.id ()
-              | _ -> ()
-            end)
+            match (o.Os.loc, (Os.slot store child).Os.loc) with
+            | Os.Region rp, Os.Region rc when rp <> rc ->
+                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset o.Os.id ()
+            | _ -> ())
           o.Os.refs);
     st.eden_bytes <- 0;
     st.mixed_candidates <- [];
@@ -330,7 +320,7 @@ let create ctx (config : Gc_config.t) =
       ~promoted:0
   in
   let remark_and_cleanup () =
-    let marked = trace_all () in
+    ignore (trace_all ());
     (* Liveness accounting per region. *)
     Array.iter
       (fun r ->
@@ -341,7 +331,7 @@ let create ctx (config : Gc_config.t) =
             Vec.iter
               (fun id ->
                 let o = Os.get store id in
-                if o.Os.marked then live := !live + o.Os.size)
+                if Os.is_marked store o then live := !live + o.Os.size)
               r.Rh.objects;
             r.Rh.live_bytes <- !live
         | Rh.Eden | Rh.Survivor | Rh.Free -> ())
@@ -371,16 +361,16 @@ let create ctx (config : Gc_config.t) =
             Vec.iter
               (fun id ->
                 let ho = Os.get store id in
-                if not ho.Os.marked then dead_humongous := id :: !dead_humongous)
+                if not (Os.is_marked store ho) then
+                  dead_humongous := id :: !dead_humongous)
               r.Rh.objects
         | Rh.Old_region | Rh.Humongous | Rh.Eden | Rh.Survivor | Rh.Free -> ())
       rheap.Rh.regions;
     List.iter (fun id -> Rh.release_humongous rheap id) !dead_humongous;
-    clear_marks marked;
     let candidates =
       Array.to_list rheap.Rh.regions
       |> List.filter (fun r ->
-             r.Rh.kind = Rh.Old_region
+             (match r.Rh.kind with Rh.Old_region -> true | _ -> false)
              && r.Rh.used > 0
              && float_of_int r.Rh.live_bytes
                 < 0.95 *. float_of_int r.Rh.used)
@@ -413,28 +403,39 @@ let create ctx (config : Gc_config.t) =
           let n = min cap (max 1 (List.length l / 4)) in
           List.filteri (fun i _ -> i < n) l
     in
-    let collected = Array.make (Array.length rheap.Rh.regions) false in
-    let cset = ref [] in
+    if Array.length !collected_scratch <> Array.length rheap.Rh.regions then
+      collected_scratch := Array.make (Array.length rheap.Rh.regions) false
+    else Array.fill !collected_scratch 0 (Array.length !collected_scratch) false;
+    let collected = !collected_scratch in
+    let cset = cset_scratch in
+    Vec.clear cset;
     Array.iter
       (fun r ->
-        if r.Rh.kind = Rh.Eden || r.Rh.kind = Rh.Survivor then begin
+        if (match r.Rh.kind with Rh.Eden | Rh.Survivor -> true | _ -> false)
+        then begin
           collected.(r.Rh.idx) <- true;
-          cset := r.Rh.idx :: !cset
+          Vec.push cset r.Rh.idx
         end)
       rheap.Rh.regions;
     List.iter
       (fun idx ->
-        if rheap.Rh.regions.(idx).Rh.kind = Rh.Old_region then begin
+        if
+          match rheap.Rh.regions.(idx).Rh.kind with
+          | Rh.Old_region -> true
+          | _ -> false
+        then begin
           collected.(idx) <- true;
-          cset := idx :: !cset
+          Vec.push cset idx
         end)
       mixed_now;
     let young_before = young_used () and old_before = old_hum_used () in
-    let marked, remset_bytes, external_refs = trace_collection_set collected in
+    let marked, remset_bytes = trace_collection_set collected in
     (* Plan placement: survivors young enough go to survivor regions, the
        rest to old regions.  First-fit bump packing tells us exactly how
        many free regions we need before we touch anything. *)
-    let surv = Vec.create () and prom = Vec.create () in
+    let surv = surv_scratch and prom = prom_scratch in
+    Vec.clear surv;
+    Vec.clear prom;
     let surv_bytes = ref 0 and prom_bytes = ref 0 in
     (* Survivor overflow: G1 sizes survivor space as a slice of the young
        target; anything beyond it is promoted rather than failing the
@@ -473,7 +474,6 @@ let create ctx (config : Gc_config.t) =
     in
     let needed = regions_for surv + regions_for prom in
     if needed > Rh.free_regions rheap then begin
-      clear_marks marked;
       st.evacuation_failures <- st.evacuation_failures + 1;
       full_gc "evacuation failure"
     end
@@ -510,37 +510,34 @@ let create ctx (config : Gc_config.t) =
          object's new region (the pairs were captured during the remset
          scan); (b) every moved object is re-recorded as a source for the
          regions its own references point into. *)
-      Vec.iter
-        (fun (src, child) ->
-          if Os.is_live store src && Os.is_live store child then begin
-            match ((Os.get store src).Os.loc, (Os.get store child).Os.loc) with
-            | Os.Region rs, Os.Region rc when rs <> rc ->
-                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset src ()
-            | _ -> ()
-          end)
-        external_refs;
+      for i = 0 to Vec.length ext_src - 1 do
+        let src = Vec.get ext_src i and child = Vec.get ext_child i in
+        match ((Os.slot store src).Os.loc, (Os.slot store child).Os.loc) with
+        | Os.Region rs, Os.Region rc when rs <> rc ->
+            Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset src ()
+        | _ -> ()
+      done;
       let update_moved id =
         let o = Os.get store id in
         match o.Os.loc with
         | Os.Region ro ->
             Vec.iter
               (fun child ->
-                if Os.is_live store child then begin
-                  match (Os.get store child).Os.loc with
-                  | Os.Region rc when rc <> ro ->
-                      Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ()
-                  | _ -> ()
-                end)
+                match (Os.slot store child).Os.loc with
+                | Os.Region rc when rc <> ro ->
+                    Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ()
+                | _ -> ())
               o.Os.refs
         | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> ()
       in
       Vec.iter update_moved surv;
       Vec.iter update_moved prom;
-      (* Release the collection set (frees the unreached objects). *)
-      List.iter
-        (fun idx -> Rh.release_region rheap rheap.Rh.regions.(idx))
-        !cset;
-      clear_marks marked;
+      (* Release the collection set (frees the unreached objects), newest
+         entry first — the order the previous cons-list gave, kept so free
+         slot recycling (hence object ids) stays byte-identical. *)
+      for i = Vec.length cset - 1 downto 0 do
+        Rh.release_region rheap rheap.Rh.regions.(Vec.get cset i)
+      done;
       st.eden_bytes <- 0;
       rheap.Rh.promoted_bytes <- rheap.Rh.promoted_bytes + !prom_bytes;
       let mixed = mixed_now <> [] in
@@ -556,7 +553,7 @@ let create ctx (config : Gc_config.t) =
         +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
         +. cost.Machine.gc_fixed_us
         +. (region_fixed_us
-           *. float_of_int (List.length !cset)
+           *. float_of_int (Vec.length cset)
            /. Machine.parallel_speedup m workers)
         +. Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
              ~bytes:remset_bytes
@@ -649,8 +646,9 @@ let create ctx (config : Gc_config.t) =
         if !old_alloc_region < 0 then None
         else begin
           let r = rheap.Rh.regions.(!old_alloc_region) in
-          if r.Rh.kind <> Rh.Old_region then None
-          else Rh.alloc_in_region rheap r ~size
+          match r.Rh.kind with
+          | Rh.Old_region -> Rh.alloc_in_region rheap r ~size
+          | _ -> None
         end
       in
       match try_current () with

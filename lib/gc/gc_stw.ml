@@ -64,10 +64,11 @@ let create ctx (config : Gc_config.t) =
     | _outcome -> ()
     | exception Gen_algo.Promotion_failure -> full "promotion failure"
   in
+  let eden_cap = heap.Gh.eden_cap in
   let alloc ~size =
     (* Objects too large for eden go straight to the old generation, as
        HotSpot does for very large allocations. *)
-    if size > heap.Gh.eden_cap then begin
+    if size > eden_cap then begin
       match Gh.alloc_old_direct heap ~size with
       | Some id -> id
       | None ->
@@ -80,27 +81,28 @@ let create ctx (config : Gc_config.t) =
                    (Printf.sprintf "%s: cannot fit %d-byte object" name size)))
     end
     else begin
-      match Gh.alloc_eden heap ~size with
-      | Some id -> id
-      | None ->
-          minor "allocation failure";
-          (match Gh.alloc_eden heap ~size with
-          | Some id -> id
-          | None -> (
-              (* Eden still full after a young collection: survivors (or
-                 full-GC overflow) crowd it.  One full collection, then
-                 either eden or the old generation must take the object. *)
-              full "allocation failure";
-              match Gh.alloc_eden heap ~size with
-              | Some id -> id
-              | None -> (
-                  match Gh.alloc_old_direct heap ~size with
-                  | Some id -> id
-                  | None ->
-                      raise
-                        (Gc_ctx.Out_of_memory
-                           (Printf.sprintf "%s: heap exhausted allocating %d bytes"
-                              name size)))))
+      let id = Gh.alloc_eden_id heap ~size in
+      if id >= 0 then id
+      else begin
+        minor "allocation failure";
+        match Gh.alloc_eden heap ~size with
+        | Some id -> id
+        | None -> (
+            (* Eden still full after a young collection: survivors (or
+               full-GC overflow) crowd it.  One full collection, then
+               either eden or the old generation must take the object. *)
+            full "allocation failure";
+            match Gh.alloc_eden heap ~size with
+            | Some id -> id
+            | None -> (
+                match Gh.alloc_old_direct heap ~size with
+                | Some id -> id
+                | None ->
+                    raise
+                      (Gc_ctx.Out_of_memory
+                         (Printf.sprintf "%s: heap exhausted allocating %d bytes"
+                            name size))))
+      end
     end
   in
   let alloc_old ~size =

@@ -1,4 +1,4 @@
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
 module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
@@ -19,64 +19,35 @@ type young_outcome = {
 exception Promotion_failure
 
 (* Trace the young reachable set: roots are the mutator roots plus the
-   children of dirty-card old objects.  Only young objects are traversed;
-   anything old is treated as live (standard generational conservatism). *)
+   children of remembered-set old objects.  Only young objects are
+   traversed; anything old is treated as live (standard generational
+   conservatism).  Marks are epoch stamps (no clearing pass) and the
+   returned vector is the heap's scratch mark list, valid until the next
+   trace. *)
 let trace_young ctx (heap : Gh.t) =
   let store = heap.Gh.store in
-  let marked = Vec.create () in
-  let stack = Vec.create () in
+  let marked = heap.Gh.mark_list and stack = heap.Gh.trace_stack in
+  Vec.clear marked;
+  Vec.clear stack;
+  Os.begin_trace store;
   let card_bytes = ref 0 in
   let push id =
-    if Os.is_live store id then begin
-      let o = Os.get store id in
-      if Gh.is_young o.Os.loc && not o.Os.marked then begin
-        o.Os.marked <- true;
-        Vec.push marked id;
-        Vec.push stack id
-      end
+    let o = Os.slot store id in
+    if Gh.is_young o.Os.loc && not (Os.is_marked store o) then begin
+      Os.mark store o;
+      Vec.push marked id;
+      Vec.push stack id
     end
   in
   ctx.Gc_ctx.iter_roots push;
-  Hashtbl.iter
-    (fun pid () ->
-      if Os.is_live store pid then begin
-        let p = Os.get store pid in
-        if not (Gh.is_young p.Os.loc) then begin
-          card_bytes := !card_bytes + p.Os.size;
-          Vec.iter push p.Os.refs
-        end
-      end)
-    heap.Gh.dirty_cards;
+  Gh.iter_dirty heap (fun p ->
+      card_bytes := !card_bytes + p.Os.size;
+      Vec.iter push p.Os.refs);
   while not (Vec.is_empty stack) do
     let id = Vec.pop stack in
-    let o = Os.get store id in
-    Vec.iter push o.Os.refs
+    Vec.iter push (Os.slot store id).Os.refs
   done;
   (marked, !card_bytes)
-
-let clear_marks store marked =
-  Vec.iter
-    (fun id -> if Os.is_live store id then (Os.get store id).Os.marked <- false)
-    marked
-
-(* An old object needs a dirty card iff one of its references targets a
-   young object. *)
-let has_young_ref store (o : Os.obj) =
-  Vec.exists
-    (fun r -> Os.is_live store r && Gh.is_young (Os.get store r).Os.loc)
-    o.Os.refs
-
-let rebuild_cards (heap : Gh.t) =
-  let store = heap.Gh.store in
-  Hashtbl.reset heap.Gh.dirty_cards;
-  Vec.iter
-    (fun id ->
-      if Os.is_live store id then begin
-        let o = Os.get store id in
-        if o.Os.loc = Os.Old && has_young_ref store o then
-          Hashtbl.replace heap.Gh.dirty_cards id ()
-      end)
-    heap.Gh.old_ids
 
 let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
   let store = heap.Gh.store in
@@ -87,7 +58,10 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
      survivor space.  This smooths promotion instead of letting several
      generations of survivors pile up and promote in one huge burst. *)
   let max_age = heap.Gh.tenuring_threshold in
-  let bytes_by_age = Array.make (max_age + 1) 0 in
+  if Array.length heap.Gh.age_bytes <= max_age then
+    heap.Gh.age_bytes <- Array.make (max_age + 1) 0
+  else Array.fill heap.Gh.age_bytes 0 (Array.length heap.Gh.age_bytes) 0;
+  let bytes_by_age = heap.Gh.age_bytes in
   Vec.iter
     (fun id ->
       let o = Os.get store id in
@@ -109,7 +83,9 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
      the survivor space; the rest is promoted.  HotSpot promotes on both
      tenuring age and survivor-space overflow. *)
   let to_survivor = ref 0 and to_promote = ref 0 in
-  let promote = Vec.create () and keep = Vec.create () in
+  let promote = heap.Gh.promote_scratch and keep = heap.Gh.keep_scratch in
+  Vec.clear promote;
+  Vec.clear keep;
   Vec.iter
     (fun id ->
       let o = Os.get store id in
@@ -126,22 +102,13 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
         Vec.push keep id
       end)
     marked;
-  if !to_promote > params.usable_old_free () then begin
-    clear_marks store marked;
-    raise Promotion_failure
-  end;
-  (* Apply: move survivors, free the dead. *)
-  let freed = ref 0 in
-  Vec.iter
-    (fun id ->
-      if Os.is_live store id then begin
-        let o = Os.get store id in
-        if Gh.is_young o.Os.loc && not o.Os.marked then begin
-          freed := !freed + o.Os.size;
-          Os.free store id
-        end
-      end)
-    heap.Gh.young_ids;
+  if !to_promote > params.usable_old_free () then raise Promotion_failure;
+  (* Apply: move survivors first, then sweep.  The promoted and dead sets
+     are disjoint (marked vs unmarked), so applying placement before the
+     sweep frees the same objects in the same [young_ids] order as
+     sweeping first would — and it lets the sweep double as the young
+     registry compaction: one pass frees the unmarked, drops the
+     promoted (now old) and keeps the survivors. *)
   Vec.iter
     (fun id ->
       let o = Os.get store id in
@@ -156,26 +123,26 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
       o.Os.age <- o.Os.age + 1;
       o.Os.loc <- Os.Survivor)
     keep;
+  let freed = ref 0 in
+  Vec.filter_in_place
+    (fun id ->
+      let o = Os.slot store id in
+      Gh.is_young o.Os.loc
+      && (Os.is_marked store o
+         || begin
+              freed := !freed + o.Os.size;
+              Os.free_obj store o;
+              false
+            end))
+    heap.Gh.young_ids;
   heap.Gh.eden_used <- 0;
   heap.Gh.survivor_used <- !to_survivor;
   heap.Gh.promoted_bytes <- heap.Gh.promoted_bytes + !to_promote;
-  Gh.compact_registries heap;
-  (* Card maintenance: previously-dirty old objects stay dirty only if
-     they still reference young data; freshly promoted objects may now be
-     old-with-young-refs. *)
-  let recheck = Vec.create () in
-  Hashtbl.iter (fun pid () -> Vec.push recheck pid) heap.Gh.dirty_cards;
-  Hashtbl.reset heap.Gh.dirty_cards;
-  let maybe_dirty id =
-    if Os.is_live store id then begin
-      let o = Os.get store id in
-      if o.Os.loc = Os.Old && has_young_ref store o then
-        Hashtbl.replace heap.Gh.dirty_cards id ()
-    end
-  in
-  Vec.iter maybe_dirty recheck;
-  Vec.iter maybe_dirty promote;
-  clear_marks store marked;
+  Gh.compact_old_ids heap;
+  (* Remembered-set maintenance: previously-dirty old objects stay dirty
+     only if they still reference young data; freshly promoted objects may
+     now be old-with-young-refs.  Nothing else can have changed. *)
+  Gh.refresh_cards heap ~extra:promote;
   (* Charge the pause. *)
   let m = ctx.Gc_ctx.machine in
   let duration =
@@ -214,25 +181,29 @@ type full_outcome = {
   duration_us : float;
 }
 
-(* Full trace over both generations. *)
+(* Full trace over both generations.  Returns the heap's scratch mark
+   list, valid until the next trace. *)
 let trace_all ctx (heap : Gh.t) =
   let store = heap.Gh.store in
-  let marked = Vec.create () in
-  let stack = Vec.create () in
+  let marked = heap.Gh.mark_list and stack = heap.Gh.trace_stack in
+  Vec.clear marked;
+  Vec.clear stack;
+  Os.begin_trace store;
   let push id =
-    if Os.is_live store id then begin
-      let o = Os.get store id in
-      if not o.Os.marked then begin
-        o.Os.marked <- true;
-        Vec.push marked id;
-        Vec.push stack id
-      end
-    end
+    let o = Os.slot store id in
+    match o.Os.loc with
+    | Os.Nowhere -> ()
+    | _ ->
+        if not (Os.is_marked store o) then begin
+          Os.mark store o;
+          Vec.push marked id;
+          Vec.push stack id
+        end
   in
   ctx.Gc_ctx.iter_roots push;
   while not (Vec.is_empty stack) do
     let id = Vec.pop stack in
-    Vec.iter push (Os.get store id).Os.refs
+    Vec.iter push (Os.slot store id).Os.refs
   done;
   marked
 
@@ -243,30 +214,29 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   let live_young = ref 0 and live_old = ref 0 in
   Vec.iter
     (fun id ->
-      let o = Os.get store id in
+      let o = Os.slot store id in
       if Gh.is_young o.Os.loc then live_young := !live_young + o.Os.size
       else live_old := !live_old + o.Os.size)
     marked;
   let live = !live_young + !live_old in
-  if live > heap.Gh.heap_bytes then begin
-    clear_marks store marked;
+  if live > heap.Gh.heap_bytes then
     raise
       (Gc_ctx.Out_of_memory
          (Printf.sprintf "%s: live data (%d) exceeds heap (%d)" collector live
-            heap.Gh.heap_bytes))
-  end;
+            heap.Gh.heap_bytes));
   (* Sweep: free everything unmarked, in both generations. *)
   let freed = ref 0 in
   let sweep_vec v =
     Vec.iter
       (fun id ->
-        if Os.is_live store id then begin
-          let o = Os.get store id in
-          if not o.Os.marked then begin
-            freed := !freed + o.Os.size;
-            Os.free store id
-          end
-        end)
+        let o = Os.slot store id in
+        match o.Os.loc with
+        | Os.Nowhere -> ()
+        | _ ->
+            if not (Os.is_marked store o) then begin
+              freed := !freed + o.Os.size;
+              Os.free_obj store o
+            end)
       v
   in
   sweep_vec heap.Gh.young_ids;
@@ -279,19 +249,17 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   let old_used = ref !live_old in
   Vec.iter
     (fun id ->
-      if Os.is_live store id then begin
-        let o = Os.get store id in
-        if Gh.is_young o.Os.loc then begin
-          if !old_used + o.Os.size <= heap.Gh.old_cap then begin
-            o.Os.loc <- Os.Old;
-            old_used := !old_used + o.Os.size;
-            promoted := !promoted + o.Os.size;
-            Vec.push heap.Gh.old_ids id
-          end
-          else begin
-            o.Os.loc <- Os.Eden;
-            eden_left := !eden_left + o.Os.size
-          end
+      let o = Os.slot store id in
+      if Gh.is_young o.Os.loc then begin
+        if !old_used + o.Os.size <= heap.Gh.old_cap then begin
+          o.Os.loc <- Os.Old;
+          old_used := !old_used + o.Os.size;
+          promoted := !promoted + o.Os.size;
+          Vec.push heap.Gh.old_ids id
+        end
+        else begin
+          o.Os.loc <- Os.Eden;
+          eden_left := !eden_left + o.Os.size
         end
       end)
     marked;
@@ -299,9 +267,16 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   heap.Gh.survivor_used <- 0;
   heap.Gh.old_used <- !old_used;
   heap.Gh.promoted_bytes <- heap.Gh.promoted_bytes + !promoted;
-  Gh.compact_registries heap;
-  rebuild_cards heap;
-  clear_marks store marked;
+  (* Deaths leave stale registry entries and promotions leave young_ids
+     entries now pointing at old objects; when neither happened the
+     registries are already exact and the filter passes can be skipped
+     (the common System.gc-on-an-idle-heap case). *)
+  if !freed > 0 || !promoted > 0 then Gh.compact_registries heap;
+  (* A full collection reshapes the whole old generation, so the
+     remembered set is re-derived from the old registry (a post-pass over
+     data the collection already walked, unlike the per-write cost the
+     incremental young-collection refresh avoids). *)
+  Gh.rebuild_cards heap;
   let m = ctx.Gc_ctx.machine in
   let duration =
     Gc_ctx.stw_begin_us ctx

@@ -11,7 +11,14 @@
 
     Both genuinely trace the simulated object graph, so survival,
     promotion and reclamation are emergent, and both charge their phases
-    to the virtual clock through the machine cost model. *)
+    to the virtual clock through the machine cost model.
+
+    The hot paths are incremental and allocation-free in steady state:
+    marks are epoch stamps ({!Gcperf_heap.Obj_store.begin_trace}), work
+    lists live in the heap's scratch vectors, and the remembered set is
+    refreshed from the previous entries plus the freshly promoted objects
+    ({!Gcperf_heap.Gen_heap.refresh_cards}) instead of being rebuilt from
+    the whole heap. *)
 
 type young_params = {
   workers : int;  (** GC threads for the stop-the-world young phases *)
@@ -60,13 +67,10 @@ val collect_full :
     reclaimed, the old generation is compacted.
     @raise Gc_ctx.Out_of_memory when live data exceeds the heap. *)
 
-val rebuild_cards : Gcperf_heap.Gen_heap.t -> unit
-(** Recomputes the card table exactly (old objects that reference young
-    objects).  Exposed for tests. *)
-
-val trace_all : Gc_ctx.t -> Gcperf_heap.Gen_heap.t -> int Gcperf_util.Vec.t
-(** Marks every object reachable from the roots (both generations) and
-    returns the marked ids.  Callers must {!clear_marks} when done.  Used
-    by CMS's remark pause, which needs an exact liveness snapshot. *)
-
-val clear_marks : Gcperf_heap.Obj_store.t -> int Gcperf_util.Vec.t -> unit
+val trace_all : Gc_ctx.t -> Gcperf_heap.Gen_heap.t -> Gcperf_util.Int_vec.t
+(** Marks every object reachable from the roots (both generations) under a
+    fresh trace epoch and returns the marked ids.  The returned vector is
+    the heap's scratch mark list, valid until the next trace; mark stamps
+    stay queryable via {!Gcperf_heap.Obj_store.is_marked} until the next
+    {!Gcperf_heap.Obj_store.begin_trace}.  Used by CMS's remark pause,
+    which needs an exact liveness snapshot. *)

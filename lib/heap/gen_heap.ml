@@ -1,4 +1,5 @@
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
+module Bitset = Gcperf_util.Bitset
 
 type t = {
   store : Obj_store.t;
@@ -11,11 +12,22 @@ type t = {
   mutable survivor_used : int;
   mutable old_used : int;
   mutable tenuring_threshold : int;
-  young_ids : int Vec.t;
-  old_ids : int Vec.t;
-  dirty_cards : (int, unit) Hashtbl.t;
+  young_ids : Vec.t;
+  old_ids : Vec.t;
+  dirty_ids : Vec.t;
+  dirty_bits : Bitset.t;
+  dirty_tbl : (int, unit) Hashtbl.t;
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
+  (* Per-collection scratch, hoisted so steady-state collections allocate
+     nothing in the host runtime.  Owned by the collection algorithms in
+     gcperf.gc; contents are only valid within one collection. *)
+  mark_list : Vec.t;
+  trace_stack : Vec.t;
+  promote_scratch : Vec.t;
+  keep_scratch : Vec.t;
+  recheck_scratch : Vec.t;
+  mutable age_bytes : int array;
 }
 
 let create store ~heap_bytes ~young_bytes ?(survivor_ratio = 8)
@@ -39,14 +51,20 @@ let create store ~heap_bytes ~young_bytes ?(survivor_ratio = 8)
     tenuring_threshold;
     young_ids = Vec.create ();
     old_ids = Vec.create ();
-    dirty_cards = Hashtbl.create 256;
+    dirty_ids = Vec.create ();
+    dirty_bits = Bitset.create ();
+    dirty_tbl = Hashtbl.create 256;
     allocated_bytes = 0;
     promoted_bytes = 0;
+    mark_list = Vec.create ();
+    trace_stack = Vec.create ();
+    promote_scratch = Vec.create ();
+    keep_scratch = Vec.create ();
+    recheck_scratch = Vec.create ();
+    age_bytes = [||];
   }
 
-let is_young = function
-  | Obj_store.Eden | Obj_store.Survivor -> true
-  | Obj_store.Old | Obj_store.Region _ | Obj_store.Nowhere -> false
+let is_young = Obj_store.is_young_loc
 
 let young_used t = t.eden_used + t.survivor_used
 
@@ -56,15 +74,22 @@ let eden_free t = t.eden_cap - t.eden_used
 
 let old_free t = t.old_cap - t.old_used
 
-let alloc_eden t ~size =
-  if size > eden_free t then None
+(* Option-free variant for the per-allocation hot path: [-1] means eden
+   cannot fit the object.  [alloc_eden] keeps the option interface for
+   callers off the hot path. *)
+let alloc_eden_id t ~size =
+  if size > eden_free t then -1
   else begin
     let id = Obj_store.alloc t.store ~size ~loc:Obj_store.Eden in
     t.eden_used <- t.eden_used + size;
     t.allocated_bytes <- t.allocated_bytes + size;
     Vec.push t.young_ids id;
-    Some id
+    id
   end
+
+let alloc_eden t ~size =
+  let id = alloc_eden_id t ~size in
+  if id < 0 then None else Some id
 
 let alloc_old_direct t ~size =
   if size > old_free t then None
@@ -76,24 +101,122 @@ let alloc_old_direct t ~size =
     Some id
   end
 
+(* --- remembered set ---------------------------------------------------
+
+   The dirty set tracks old objects that may hold references into the
+   young generation.  Membership is a compact id vector plus a bitset
+   (O(1) duplicate suppression on the write-barrier hot path), mirrored
+   by a hash table whose only job is iteration order: the simulator's
+   survivor-overflow decisions depend on the order card children enter a
+   trace, and that order has always been the hash table's bucket order.
+   Keeping the mirror reproduces historical results bit-for-bit; dropping
+   it in favour of first-dirtied vector order moves a handful of
+   tightly-sized configurations by a fraction of a percent.
+
+   Like a hardware card table, a card stays dirty until a collection
+   cleans it: a mutator that overwrites its last young reference does not
+   clean the card, so iteration can visit old objects with no remaining
+   young refs (the scan then finds nothing young — that wasted work is
+   exactly what real card scanning pays).  {!refresh_cards} restores
+   exactness after every young collection from the per-object
+   [young_refs] counters; {!rebuild_cards} re-derives the set from the
+   old registry after a full collection. *)
+
+let[@inline] entry_present t id =
+  Obj_store.is_old_loc (Obj_store.slot t.store id).Obj_store.loc
+
+let card_mark t id =
+  if not (Bitset.mem t.dirty_bits id) then begin
+    Bitset.set t.dirty_bits id;
+    Vec.push t.dirty_ids id;
+    Hashtbl.replace t.dirty_tbl id ()
+  end
+
+let iter_dirty t f =
+  (* the emptiness guard skips a full walk of the table's buckets in the
+     (common) collections with no dirty cards *)
+  if Hashtbl.length t.dirty_tbl > 0 then
+    Hashtbl.iter
+      (fun id () ->
+        let o = Obj_store.slot t.store id in
+        if Obj_store.is_old_loc o.Obj_store.loc then f o)
+      t.dirty_tbl
+
+let card_is_dirty t id = Bitset.mem t.dirty_bits id && entry_present t id
+
+let dirty_count t =
+  let n = ref 0 in
+  iter_dirty t (fun _ -> incr n);
+  !n
+
+(* Dead entries linger until the next refresh, and their ids can be
+   recycled meanwhile (the concurrent sweep frees old objects without
+   touching cards); a recycled id is scanned again whatever space it now
+   occupies.  Remark has always charged card bytes that way. *)
+let dirty_live_bytes t =
+  Vec.fold
+    (fun acc id ->
+      let o = Obj_store.slot t.store id in
+      if Obj_store.is_nowhere_loc o.Obj_store.loc then acc
+      else acc + o.Obj_store.size)
+    0 t.dirty_ids
+
+let clear_cards t =
+  (* Emptiness guards: all three structures are no-ops to clear when the
+     set is empty, and entries only ever leave through this function, so
+     an empty mirror table is always at its initial bucket count (the
+     guarded [Hashtbl.reset] cannot be skipped in a state it would have
+     changed). *)
+  if Vec.length t.dirty_ids > 0 then begin
+    Vec.iter (fun id -> Bitset.clear t.dirty_bits id) t.dirty_ids;
+    Vec.clear t.dirty_ids
+  end;
+  if Hashtbl.length t.dirty_tbl > 0 then Hashtbl.reset t.dirty_tbl
+
+let[@inline] consider_card t id =
+  let o = Obj_store.slot t.store id in
+  if Obj_store.is_old_loc o.Obj_store.loc then begin
+    Obj_store.recount_young_refs t.store o;
+    if o.Obj_store.young_refs > 0 then card_mark t id
+  end
+
+let refresh_cards t ~extra =
+  (* Recheck in table order — the order re-insertion has always used. *)
+  Vec.clear t.recheck_scratch;
+  if Hashtbl.length t.dirty_tbl > 0 then begin
+    Hashtbl.iter (fun id () -> Vec.push t.recheck_scratch id) t.dirty_tbl;
+    clear_cards t;
+    Vec.iter (fun id -> consider_card t id) t.recheck_scratch
+  end;
+  Vec.iter (fun id -> consider_card t id) extra
+
+let rebuild_cards t =
+  clear_cards t;
+  Vec.iter (fun id -> consider_card t id) t.old_ids
+
 let record_store t ~parent ~child =
   Obj_store.add_ref t.store ~from:parent ~to_:child;
-  let p = Obj_store.get t.store parent and c = Obj_store.get t.store child in
-  if (not (is_young p.loc)) && is_young c.loc then
-    Hashtbl.replace t.dirty_cards parent ()
+  let p = Obj_store.get t.store parent in
+  if
+    Obj_store.is_old_loc p.Obj_store.loc
+    && is_young (Obj_store.get t.store child).Obj_store.loc
+  then card_mark t parent
 
 let remove_store t ~parent ~child =
   Obj_store.remove_ref t.store ~from:parent ~to_:child
 
+let compact_old_ids t =
+  let store = t.store in
+  Vec.filter_in_place
+    (fun id -> Obj_store.is_old_loc (Obj_store.slot store id).loc)
+    t.old_ids
+
 let compact_registries t =
   let store = t.store in
   Vec.filter_in_place
-    (fun id -> Obj_store.is_live store id && is_young (Obj_store.get store id).loc)
+    (fun id -> is_young (Obj_store.slot store id).loc)
     t.young_ids;
-  Vec.filter_in_place
-    (fun id ->
-      Obj_store.is_live store id && (Obj_store.get store id).loc = Obj_store.Old)
-    t.old_ids
+  compact_old_ids t
 
 let check_invariants t =
   let eden = ref 0 and survivor = ref 0 and old = ref 0 in

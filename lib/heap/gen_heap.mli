@@ -3,8 +3,17 @@
     The heap is split into a young generation (an eden plus two survivor
     semi-spaces) and an old generation, exactly as in HotSpot.  This module
     owns the space accounting, the registries of young and old object ids,
-    and the card table that tracks old objects possibly holding references
-    into the young generation.
+    and the remembered set tracking old objects that hold references into
+    the young generation.
+
+    The remembered set is maintained incrementally: the store counts young
+    targets per object ({!Obj_store.obj.young_refs}, updated by the write
+    barrier), and membership is a compact id vector plus a bitset, with a
+    hash-table mirror providing the iteration order (see {!iter_dirty}).
+    Like a hardware card table, a card stays dirty until a collection
+    cleans it; {!refresh_cards} restores exactness after every young
+    collection from the counters, and {!rebuild_cards} re-derives the set
+    after a full collection.
 
     The record type is exposed: the collector implementations in
     [gcperf.gc] are co-designed with this module and manipulate the
@@ -22,16 +31,39 @@ type t = {
   mutable old_used : int;
   mutable tenuring_threshold : int;
       (** collections an object must survive before promotion *)
-  young_ids : int Gcperf_util.Vec.t;
+  young_ids : Gcperf_util.Int_vec.t;
       (** ids of objects allocated young; may contain stale entries, which
           collectors filter while walking *)
-  old_ids : int Gcperf_util.Vec.t;
-  dirty_cards : (int, unit) Hashtbl.t;
-      (** card table: old-generation objects that may reference young ones;
-          a conservative over-approximation, cleared by each young scan *)
+  old_ids : Gcperf_util.Int_vec.t;
+  dirty_ids : Gcperf_util.Int_vec.t;
+      (** remembered set: ids of old objects that may reference young ones,
+          in first-dirtied order; dead or no-longer-old entries are
+          filtered by {!iter_dirty}, entries without remaining young refs
+          stay dirty until the next {!refresh_cards} (card-table
+          semantics) *)
+  dirty_bits : Gcperf_util.Bitset.t;
+      (** membership bitset over [dirty_ids] (duplicate suppression) *)
+  dirty_tbl : (int, unit) Hashtbl.t;
+      (** mirror of the same membership; its bucket order is the
+          remembered-set iteration order (kept so simulated results stay
+          bit-for-bit with the original hash-table remembered set) *)
   mutable allocated_bytes : int;  (** cumulative bytes ever allocated *)
   mutable promoted_bytes : int;  (** cumulative bytes ever promoted *)
+  mark_list : Gcperf_util.Int_vec.t;
+      (** scratch: ids marked by the current trace *)
+  trace_stack : Gcperf_util.Int_vec.t;  (** scratch: trace work list *)
+  promote_scratch : Gcperf_util.Int_vec.t;
+      (** scratch: ids picked for promotion *)
+  keep_scratch : Gcperf_util.Int_vec.t;
+      (** scratch: ids kept in the survivor space *)
+  recheck_scratch : Gcperf_util.Int_vec.t;
+      (** scratch: previous dirty entries during {!refresh_cards} *)
+  mutable age_bytes : int array;
+      (** scratch: surviving bytes per age, for adaptive tenuring *)
 }
+(** The scratch vectors let the collection algorithms run allocation-free
+    in steady state; their contents are only meaningful while a collection
+    is in progress. *)
 
 val create :
   Obj_store.t ->
@@ -58,20 +90,65 @@ val old_free : t -> int
 val alloc_eden : t -> size:int -> int option
 (** Bump allocation in eden; [None] on allocation failure (eden full). *)
 
+val alloc_eden_id : t -> size:int -> int
+(** [alloc_eden] without the option: [-1] on allocation failure.  The
+    per-allocation hot path uses this to avoid boxing an option per
+    object. *)
+
 val alloc_old_direct : t -> size:int -> int option
 (** Direct old-generation allocation, used for objects too large for the
     young generation; [None] if the old generation cannot fit it. *)
 
 val record_store : t -> parent:int -> child:int -> unit
-(** Write barrier: adds the reference [parent -> child] and dirties the
-    parent's card when [parent] is old and [child] young. *)
+(** Write barrier: adds the reference [parent -> child], bumps the
+    parent's young-ref counter when [child] is young, and dirties the card
+    of an old [parent] storing a young [child]. *)
 
 val remove_store : t -> parent:int -> child:int -> unit
-(** Removes one [parent -> child] reference (mutator overwrote a field). *)
+(** Removes one [parent -> child] reference (mutator overwrote a field);
+    decrements the young-ref counter when [child] is young.  The card is
+    NOT cleaned — as with a hardware card table, only collections clean
+    cards ({!refresh_cards}). *)
+
+val iter_dirty : t -> (Obj_store.obj -> unit) -> unit
+(** Iterates the remembered set in hash-table bucket order, skipping dead
+    and no-longer-old entries.  Entries whose young refs were since
+    removed by the mutator are still visited (their scan finds nothing
+    young), as with real card scanning. *)
+
+val card_is_dirty : t -> int -> bool
+(** Whether the id is a present, live, old remembered-set entry. *)
+
+val dirty_count : t -> int
+(** Number of entries {!card_is_dirty} accepts.  O(entries); test/debug
+    use. *)
+
+val dirty_live_bytes : t -> int
+(** Total size of the live remembered-set entries, whatever space they now
+    occupy (a dead entry's id can be recycled before the next refresh and
+    is then scanned again) — the bytes a remark pause charges for card
+    scanning. *)
+
+val refresh_cards : t -> extra:Gcperf_util.Int_vec.t -> unit
+(** Post-young-collection remembered-set maintenance: re-derives the
+    young-ref counters of all current entries plus the [extra] candidates
+    (freshly promoted objects), dropping entries without live young refs.
+    Only these objects can have gained or lost young refs during a young
+    collection, so this replaces any whole-heap rebuild. *)
+
+val rebuild_cards : t -> unit
+(** Post-full-collection remembered-set derivation: recomputes membership
+    from the whole old registry (a full collection moves arbitrary objects
+    into the old generation, so the incremental argument above does not
+    apply). *)
 
 val compact_registries : t -> unit
 (** Drops stale ids from the young/old registries so their length again
     reflects the number of live objects. *)
+
+val compact_old_ids : t -> unit
+(** The old-registry half of {!compact_registries}, for collections that
+    maintain the young registry themselves while sweeping. *)
 
 val check_invariants : t -> (unit, string) result
 (** Verifies space accounting against the object store: used bytes per

@@ -1,4 +1,5 @@
 module Vec = Gcperf_util.Vec
+module Ivec = Gcperf_util.Int_vec
 
 type location = Eden | Survivor | Old | Region of int | Nowhere
 
@@ -7,91 +8,191 @@ type obj = {
   mutable size : int;
   mutable loc : location;
   mutable age : int;
-  mutable marked : bool;
-  mutable refs : int Vec.t;
+  mutable mark_epoch : int;
+  mutable young_refs : int;
+  mutable refs : Ivec.t;
 }
 
+(* The slot table is a bare [obj array] + count rather than an [obj
+   Vec.t]: the element type being known at every access site lets the
+   compiler drop the flat-float-array dispatch a polymorphic array read
+   pays, and [slot]/[get] run on every traced edge. *)
 type t = {
-  slots : obj Vec.t;
-  free_slots : int Vec.t;
+  mutable slots : obj array;
+  mutable slot_count : int;
+  free_slots : Ivec.t;
   mutable live : int;
+  mutable epoch : int;
 }
 
-let create () = { slots = Vec.create (); free_slots = Vec.create (); live = 0 }
+let create () =
+  { slots = [||]; slot_count = 0; free_slots = Ivec.create ();
+    live = 0; epoch = 0 }
+
+(* Location predicates are pattern matches, never [loc = ...]: structural
+   equality on a variant with a non-constant constructor compiles to a
+   generic-compare C call, which these hot paths cannot afford. *)
+
+let[@inline] is_young_loc = function
+  | Eden | Survivor -> true
+  | Old | Region _ | Nowhere -> false
+
+let[@inline] is_old_loc = function
+  | Old -> true
+  | Eden | Survivor | Region _ | Nowhere -> false
+
+let[@inline] is_nowhere_loc = function
+  | Nowhere -> true
+  | Eden | Survivor | Old | Region _ -> false
+
+(* --- epoch-stamped marks --------------------------------------------- *)
+
+(* A trace bumps the store's epoch and stamps reached objects with it;
+   stamps from earlier traces are stale by construction, so there is no
+   clearing pass.  Epoch 0 never marks (fresh and freed objects carry it). *)
+
+let[@inline] begin_trace t = t.epoch <- t.epoch + 1
+
+let[@inline] mark t o = o.mark_epoch <- t.epoch
+
+let[@inline] is_marked t o = o.mark_epoch = t.epoch
+
+let[@inline] unmark o = o.mark_epoch <- 0
 
 let alloc t ~size ~loc =
   assert (size > 0);
   t.live <- t.live + 1;
-  if Vec.is_empty t.free_slots then begin
-    let id = Vec.length t.slots in
-    let o = { id; size; loc; age = 0; marked = false; refs = Vec.create () } in
-    Vec.push t.slots o;
+  if Ivec.is_empty t.free_slots then begin
+    let id = t.slot_count in
+    let o =
+      { id; size; loc; age = 0; mark_epoch = 0; young_refs = 0;
+        refs = Ivec.create () }
+    in
+    if id = Array.length t.slots then begin
+      let ns = Array.make (if id = 0 then 8 else id * 2) o in
+      Array.blit t.slots 0 ns 0 id;
+      t.slots <- ns
+    end;
+    t.slots.(id) <- o;
+    t.slot_count <- id + 1;
     id
   end
   else begin
-    let id = Vec.pop t.free_slots in
-    let o = Vec.get t.slots id in
+    let id = Ivec.pop t.free_slots in
+    let o = t.slots.(id) in
     o.size <- size;
     o.loc <- loc;
     o.age <- 0;
-    o.marked <- false;
-    Vec.clear o.refs;
+    o.mark_epoch <- 0;
+    o.young_refs <- 0;
+    (* [refs] was cleared by [free]; slots only reach the free list that
+       way, so there is nothing to clear here. *)
     id
   end
 
-let get t id =
-  let o = Vec.get t.slots id in
-  if o.loc = Nowhere then invalid_arg "Obj_store.get: stale id";
+let[@inline] check t id =
+  if id < 0 || id >= t.slot_count then
+    invalid_arg "Obj_store: id out of bounds"
+
+let[@inline] get t id =
+  check t id;
+  let o = t.slots.(id) in
+  if is_nowhere_loc o.loc then invalid_arg "Obj_store.get: stale id";
   o
 
-let is_live t id =
-  id >= 0 && id < Vec.length t.slots && (Vec.get t.slots id).loc <> Nowhere
+(* One fetch for trace loops that would otherwise pay [is_live] followed
+   by [get] (two fetches, three checks) per visited edge.  Callers match
+   on [loc]: [Nowhere] means the slot is free.  Every id stored in a root
+   set, registry or ref vector was validated when it was recorded and the
+   slot table never shrinks, so the [Vec.get] bounds check suffices. *)
+let[@inline] slot t id =
+  check t id;
+  t.slots.(id)
+
+let[@inline] is_live t id =
+  id >= 0 && id < t.slot_count
+  && not (is_nowhere_loc t.slots.(id).loc)
+
+(* [free_obj] frees through an already-fetched slot — sweep loops hold
+   the object in hand and need not pay a second table lookup. *)
+let free_obj t o =
+  if is_nowhere_loc o.loc then invalid_arg "Obj_store.free: double free";
+  o.loc <- Nowhere;
+  o.mark_epoch <- 0;
+  o.young_refs <- 0;
+  Ivec.clear o.refs;
+  t.live <- t.live - 1;
+  Ivec.push t.free_slots o.id
 
 let free t id =
-  let o = Vec.get t.slots id in
-  if o.loc = Nowhere then invalid_arg "Obj_store.free: double free";
-  o.loc <- Nowhere;
-  o.marked <- false;
-  Vec.clear o.refs;
-  t.live <- t.live - 1;
-  Vec.push t.free_slots id
+  check t id;
+  free_obj t t.slots.(id)
+
+(* --- references and the young-ref counter ----------------------------- *)
+
+(* [young_refs] counts outgoing references whose target currently sits in
+   a young space.  It is maintained exactly by the mutator-facing
+   operations below; collectors re-derive it with {!recount_young_refs}
+   for the objects whose children may have moved or died during a
+   collection (targets never change space between collections, so the
+   counter stays exact in steady state). *)
 
 let add_ref t ~from ~to_ =
   let o = get t from in
-  ignore (get t to_);
-  Vec.push o.refs to_
+  let c = get t to_ in
+  if is_young_loc c.loc then o.young_refs <- o.young_refs + 1;
+  Ivec.push o.refs to_
 
 let remove_ref t ~from ~to_ =
   let o = get t from in
-  let removed = ref false in
-  Vec.filter_in_place
-    (fun r ->
-      if (not !removed) && r = to_ then begin
-        removed := true;
-        false
-      end
-      else true)
-    o.refs
+  let n = Ivec.length o.refs in
+  let rec find i =
+    if i >= n then -1 else if Ivec.get o.refs i = to_ then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then begin
+    ignore (Ivec.swap_remove o.refs i);
+    if
+      to_ >= 0
+      && to_ < t.slot_count
+      && is_young_loc t.slots.(to_).loc
+    then o.young_refs <- o.young_refs - 1
+  end
 
 let set_refs t id refs =
   let o = get t id in
-  Vec.clear o.refs;
+  Ivec.clear o.refs;
+  o.young_refs <- 0;
   List.iter
     (fun r ->
-      ignore (get t r);
-      Vec.push o.refs r)
+      let c = get t r in
+      if is_young_loc c.loc then o.young_refs <- o.young_refs + 1;
+      Ivec.push o.refs r)
     refs
 
-let live_count t = t.live
+let recount_young_refs t o =
+  (* freed targets carry [Nowhere], which fails [is_young_loc]; a manual
+     loop keeps this allocation-free (no closure over an accumulator) *)
+  let refs = o.refs in
+  let n = ref 0 in
+  for i = 0 to Ivec.length refs - 1 do
+    if is_young_loc t.slots.(Ivec.get refs i).loc then incr n
+  done;
+  o.young_refs <- !n
+
+let[@inline] live_count t = t.live
 
 let live_ids t =
-  let acc = ref [] in
-  for i = Vec.length t.slots - 1 downto 0 do
-    if (Vec.get t.slots i).loc <> Nowhere then acc := i :: !acc
+  let acc = Ivec.create () in
+  for i = 0 to t.slot_count - 1 do
+    if not (is_nowhere_loc t.slots.(i).loc) then Ivec.push acc i
   done;
-  !acc
+  acc
 
 let iter_live t f =
-  Vec.iter (fun o -> if o.loc <> Nowhere then f o) t.slots
+  for i = 0 to t.slot_count - 1 do
+    let o = t.slots.(i) in
+    if not (is_nowhere_loc o.loc) then f o
+  done
 
-let capacity t = Vec.length t.slots
+let[@inline] capacity t = t.slot_count

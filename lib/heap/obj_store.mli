@@ -2,7 +2,7 @@
 
     Every simulated heap object lives in this arena.  An object carries the
     attributes the collectors need — size in (simulated) bytes, age in
-    survived collections, location, mark bit and outgoing references — and
+    survived collections, location, mark stamp and outgoing references — and
     is identified by a dense integer id so collectors can use flat arrays
     and vectors for work lists.
 
@@ -24,13 +24,43 @@ type obj = {
   mutable size : int;
   mutable loc : location;
   mutable age : int;
-  mutable marked : bool;
-  mutable refs : int Gcperf_util.Vec.t;  (** outgoing references (object ids) *)
+  mutable mark_epoch : int;
+      (** epoch stamp; the object is marked iff this equals the store's
+          current trace epoch (see {!begin_trace}) *)
+  mutable young_refs : int;
+      (** outgoing references currently targeting a young-space object;
+          maintained by {!add_ref}/{!remove_ref}/{!set_refs} and re-derived
+          by collectors via {!recount_young_refs} after objects move *)
+  mutable refs : Gcperf_util.Int_vec.t;  (** outgoing references (object ids) *)
 }
 
 type t
 
 val create : unit -> t
+
+val is_young_loc : location -> bool
+(** Whether the location is a young space (eden or survivor). *)
+
+val is_old_loc : location -> bool
+(** Whether the location is the contiguous old generation.  A pattern
+    match, unlike [loc = Old] which would be a generic compare. *)
+
+val is_nowhere_loc : location -> bool
+(** Whether the location marks a freed slot. *)
+
+val begin_trace : t -> unit
+(** Starts a new trace epoch.  Marks from earlier traces become stale
+    implicitly — there is no clearing pass. *)
+
+val mark : t -> obj -> unit
+(** Stamps the object with the current trace epoch. *)
+
+val is_marked : t -> obj -> bool
+(** Whether the object was marked during the current trace epoch. *)
+
+val unmark : obj -> unit
+(** Clears the object's stamp (rarely needed; collections normally rely on
+    epoch staleness instead). *)
 
 val alloc : t -> size:int -> loc:location -> int
 (** Allocates a fresh object (recycling a free slot when possible) and
@@ -39,23 +69,40 @@ val alloc : t -> size:int -> loc:location -> int
 val get : t -> int -> obj
 (** @raise Invalid_argument on a stale or out-of-range id. *)
 
+val slot : t -> int -> obj
+(** [slot t id] fetches the slot without a liveness check: the result may
+    be a freed slot, signalled by [loc = Nowhere].  One fetch instead of
+    the [is_live]-then-[get] pair — for trace loops.
+    @raise Invalid_argument if [id] is outside the slot table. *)
+
 val is_live : t -> int -> bool
 (** Whether the id denotes a currently-allocated object. *)
 
 val free : t -> int -> unit
-(** Returns the object's slot to the free pool.  The id becomes stale. *)
+(** Returns the object's slot to the free pool.  The id becomes stale.
+    Raises [Invalid_argument] on an id that is already free. *)
+
+val free_obj : t -> obj -> unit
+(** {!free} through an already-fetched slot: sweep loops that hold the
+    object skip the second table lookup. *)
 
 val add_ref : t -> from:int -> to_:int -> unit
 
 val remove_ref : t -> from:int -> to_:int -> unit
-(** Removes one occurrence; no-op if absent. *)
+(** Removes one occurrence in O(found position) by swapping with the last
+    entry; no-op if absent.  Reference order is not preserved. *)
 
 val set_refs : t -> int -> int list -> unit
 
+val recount_young_refs : t -> obj -> unit
+(** Recomputes [young_refs] from the object's current references and their
+    targets' current locations (dead targets count as not-young). *)
+
 val live_count : t -> int
 
-val live_ids : t -> int list
-(** Ids of all live objects, ascending.  O(capacity); test/debug use. *)
+val live_ids : t -> Gcperf_util.Int_vec.t
+(** Ids of all live objects, ascending, as a fresh vector.  O(capacity);
+    test/debug use. *)
 
 val iter_live : t -> (obj -> unit) -> unit
 

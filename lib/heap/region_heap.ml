@@ -1,4 +1,4 @@
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
 
 type region_kind = Free | Eden | Survivor | Old_region | Humongous
 
@@ -6,7 +6,7 @@ type region = {
   idx : int;
   mutable kind : region_kind;
   mutable used : int;
-  objects : int Vec.t;
+  objects : Vec.t;
   remset : (int, unit) Hashtbl.t;
   mutable live_bytes : int;
   mutable hum_len : int;
@@ -18,9 +18,34 @@ type t = {
   region_size : int;
   regions : region array;
   mutable current_alloc : int;
+  mutable free_count : int;
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
 }
+
+(* [kind_eq] and the predicates below are pattern matches: [r.kind = k]
+   on the variant would compile to a generic-compare C call inside loops
+   that run once per region per allocation check. *)
+let[@inline] kind_eq (a : region_kind) (b : region_kind) =
+  match (a, b) with
+  | Free, Free | Eden, Eden | Survivor, Survivor -> true
+  | Old_region, Old_region | Humongous, Humongous -> true
+  | _ -> false
+
+let[@inline] is_free_kind = function
+  | Free -> true
+  | Eden | Survivor | Old_region | Humongous -> false
+
+(* Every [kind] transition goes through here so [free_count] stays exact
+   (an O(1) [free_regions] — the allocation slow-path consults it on
+   every request, so a fold over the region table is a per-alloc tax). *)
+let[@inline] set_kind t r kind =
+  (match (r.kind, kind) with
+  | Free, Free -> ()
+  | Free, _ -> t.free_count <- t.free_count - 1
+  | _, Free -> t.free_count <- t.free_count + 1
+  | _, _ -> ());
+  r.kind <- kind
 
 let mb = 1024 * 1024
 
@@ -47,6 +72,7 @@ let create store ~heap_bytes ?(target_regions = 1024) () =
     region_size;
     regions;
     current_alloc = -1;
+    free_count = n;
     allocated_bytes = 0;
     promoted_bytes = 0;
   }
@@ -58,28 +84,34 @@ let region_of t (o : Obj_store.obj) =
       invalid_arg "Region_heap.region_of: object not in a region"
 
 let count_kind t k =
-  Array.fold_left (fun acc r -> if r.kind = k then acc + 1 else acc) 0 t.regions
+  if is_free_kind k then t.free_count
+  else
+    Array.fold_left
+      (fun acc r -> if kind_eq r.kind k then acc + 1 else acc)
+      0 t.regions
 
 let used_of_kind t k =
-  Array.fold_left (fun acc r -> if r.kind = k then acc + r.used else acc) 0 t.regions
+  Array.fold_left
+    (fun acc r -> if kind_eq r.kind k then acc + r.used else acc)
+    0 t.regions
 
-let free_regions t = count_kind t Free
+let free_regions t = t.free_count
 
 let heap_used t = Array.fold_left (fun acc r -> acc + r.used) 0 t.regions
 
 let take_free_region t kind =
   let rec find i =
     if i >= Array.length t.regions then None
-    else if t.regions.(i).kind = Free then begin
+    else if is_free_kind t.regions.(i).kind then begin
       let r = t.regions.(i) in
-      r.kind <- kind;
+      set_kind t r kind;
       r.used <- 0;
       r.live_bytes <- 0;
       Some r
     end
     else find (i + 1)
   in
-  find 0
+  if t.free_count = 0 then None else find 0
 
 let alloc_in_region t r ~size =
   if r.used + size > t.region_size then None
@@ -123,7 +155,9 @@ let alloc_humongous t ~size =
   let rec find_run start =
     if start + needed > n then None
     else begin
-      let rec check i = i >= needed || (t.regions.(start + i).kind = Free && check (i + 1)) in
+      let rec check i =
+        i >= needed || (is_free_kind t.regions.(start + i).kind && check (i + 1))
+      in
       if check 0 then Some start else find_run (start + 1)
     end
   in
@@ -137,7 +171,7 @@ let alloc_humongous t ~size =
       let remaining = ref size in
       for i = start to start + needed - 1 do
         let r = t.regions.(i) in
-        r.kind <- Humongous;
+        set_kind t r Humongous;
         let chunk = min !remaining t.region_size in
         r.used <- chunk;
         r.live_bytes <- chunk;
@@ -157,7 +191,7 @@ let release_humongous t id =
         let r = t.regions.(i) in
         Vec.clear r.objects;
         Hashtbl.reset r.remset;
-        r.kind <- Free;
+        set_kind t r Free;
         r.used <- 0;
         r.live_bytes <- 0;
         r.hum_len <- 0
@@ -176,35 +210,39 @@ let record_store t ~parent ~child =
 let remove_store t ~parent ~child =
   Obj_store.remove_ref t.store ~from:parent ~to_:child
 
+let[@inline] in_region (o : Obj_store.obj) idx =
+  match o.loc with Obj_store.Region x -> x = idx | _ -> false
+
 let compact_region_objects t r =
   Vec.filter_in_place
-    (fun id ->
-      Obj_store.is_live t.store id
-      && (Obj_store.get t.store id).loc = Obj_store.Region r.idx)
+    (fun id -> in_region (Obj_store.slot t.store id) r.idx)
     r.objects
 
-let release_region t r =
-  Vec.iter
-    (fun id ->
-      if
-        Obj_store.is_live t.store id
-        && (Obj_store.get t.store id).loc = Obj_store.Region r.idx
-      then Obj_store.free t.store id)
-    r.objects;
+let retire_region t r =
   Vec.clear r.objects;
   Hashtbl.reset r.remset;
-  r.kind <- Free;
+  set_kind t r Free;
   r.used <- 0;
   r.live_bytes <- 0;
   r.hum_len <- 0;
   if t.current_alloc = r.idx then t.current_alloc <- -1
 
+let release_region t r =
+  Vec.iter
+    (fun id ->
+      if in_region (Obj_store.slot t.store id) r.idx then
+        Obj_store.free t.store id)
+    r.objects;
+  retire_region t r
+
 let eden_regions t =
-  Array.to_list t.regions |> List.filter (fun r -> r.kind = Eden)
+  Array.to_list t.regions
+  |> List.filter (fun r -> match r.kind with Eden -> true | _ -> false)
 
 let young_regions t =
   Array.to_list t.regions
-  |> List.filter (fun r -> r.kind = Eden || r.kind = Survivor)
+  |> List.filter (fun r ->
+         match r.kind with Eden | Survivor -> true | _ -> false)
 
 let check_invariants t =
   (* Recompute per-region occupancy from the store; humongous groups put
@@ -241,6 +279,16 @@ let check_invariants t =
   | Some e -> Error e
   | None ->
       let bad = ref None in
+      let actual_free =
+        Array.fold_left
+          (fun acc r -> if is_free_kind r.kind then acc + 1 else acc)
+          0 t.regions
+      in
+      if actual_free <> t.free_count then
+        bad :=
+          Some
+            (Printf.sprintf "free_count drift: tracked %d actual %d"
+               t.free_count actual_free);
       Array.iteri
         (fun i r ->
           if !bad = None then begin

@@ -12,7 +12,7 @@ type region = {
   idx : int;
   mutable kind : region_kind;
   mutable used : int;
-  objects : int Gcperf_util.Vec.t;
+  objects : Gcperf_util.Int_vec.t;
       (** ids of objects in the region; may contain stale entries *)
   remset : (int, unit) Hashtbl.t;
       (** external object ids with references into this region *)
@@ -29,6 +29,9 @@ type t = {
   region_size : int;
   regions : region array;
   mutable current_alloc : int;  (** region currently bump-allocated, or -1 *)
+  mutable free_count : int;
+      (** number of [Free] regions, maintained incrementally so
+          {!free_regions} is O(1) on the allocation path *)
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
 }
@@ -81,6 +84,10 @@ val remove_store : t -> parent:int -> child:int -> unit
 val release_region : t -> region -> unit
 (** Frees every remaining object in the region and returns it to the free
     pool (the region's evacuation has completed). *)
+
+val retire_region : t -> region -> unit
+(** Returns the region to the free pool {e without} freeing its objects
+    (used when a compaction has already moved them out). *)
 
 val compact_region_objects : t -> region -> unit
 (** Drops stale object ids from the region's registry. *)

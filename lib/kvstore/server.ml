@@ -1,4 +1,5 @@
 module Vec = Gcperf_util.Vec
+module Ivec = Gcperf_util.Int_vec
 module Prng = Gcperf_util.Prng
 module Vm = Gcperf_runtime.Vm
 module Os = Gcperf_heap.Obj_store
@@ -44,10 +45,10 @@ type t = {
   threads : Vm.thread array;
   keys : (int, int * int) Hashtbl.t;  (* key -> (record id, index id) *)
   mutable next_key : int;
-  indexes : int Vec.t;  (* memtable index objects of the current epoch *)
+  indexes : Ivec.t;  (* memtable index objects of the current epoch *)
   mutable current_index : int;  (* index object receiving new records *)
   mutable current_index_fill : int;
-  commitlog_segments : int Vec.t;
+  commitlog_segments : Ivec.t;
   mutable commitlog_fill : int;  (* bytes in the current segment *)
   mutable memtable : int;  (* bytes *)
   mutable commitlog : int;  (* bytes *)
@@ -65,7 +66,7 @@ let fresh_index ?(old = false) t =
     else
       Vm.alloc_global t.vm ~size:t.config.index_bytes ~lifetime:`Permanent
   in
-  Vec.push t.indexes id;
+  Ivec.push t.indexes id;
   t.current_index <- id;
   t.current_index_fill <- 0;
   id
@@ -82,10 +83,10 @@ let create vm config ~seed =
       threads;
       keys = Hashtbl.create 4096;
       next_key = 0;
-      indexes = Vec.create ();
+      indexes = Ivec.create ();
       current_index = -1;
       current_index_fill = 0;
-      commitlog_segments = Vec.create ();
+      commitlog_segments = Ivec.create ();
       commitlog_fill = commitlog_segment_bytes;
       memtable = 0;
       commitlog = 0;
@@ -110,14 +111,14 @@ let store t = (Vm.collector t.vm).Gcperf_gc.Collector.store
 let flush t =
   t.flush_count <- t.flush_count + 1;
   let st = store t in
-  Vec.iter
+  Ivec.iter
     (fun idx ->
       if Os.is_live st idx then Os.set_refs st idx [];
       Vm.drop_global_root t.vm idx)
     t.indexes;
-  Vec.clear t.indexes;
-  Vec.iter (fun seg -> Vm.drop_global_root t.vm seg) t.commitlog_segments;
-  Vec.clear t.commitlog_segments;
+  Ivec.clear t.indexes;
+  Ivec.iter (fun seg -> Vm.drop_global_root t.vm seg) t.commitlog_segments;
+  Ivec.clear t.commitlog_segments;
   Hashtbl.reset t.keys;
   t.memtable <- 0;
   t.commitlog <- 0;
@@ -134,7 +135,7 @@ let commitlog_append t thread bytes =
     in
     Vm.global_root t.vm seg;
     Vm.drop_root t.vm thread seg;
-    Vec.push t.commitlog_segments seg
+    Ivec.push t.commitlog_segments seg
   end
 
 (* Replay installs straight into the old generation: commit-log replay

@@ -1,4 +1,5 @@
 module Vec = Gcperf_util.Vec
+module Int_table = Gcperf_util.Int_table
 module Prng = Gcperf_util.Prng
 module Heapq = Gcperf_util.Heapq
 module Machine = Gcperf_machine.Machine
@@ -11,7 +12,7 @@ module Registry = Gcperf_gc.Registry
 
 type thread = {
   tid : int;
-  roots : (int, unit) Hashtbl.t;
+  roots : Int_table.t;
   prng : Prng.t;
   mutable live : bool;
   mutable quantum_allocs : int;
@@ -28,7 +29,7 @@ type t = {
   ctx : Gc_ctx.t;
   collector : Collector.t;
   threads : thread Vec.t;
-  globals : (int, unit) Hashtbl.t;
+  globals : Int_table.t;
   deaths : (owner * int) Heapq.t;  (* keyed by cumulative allocated bytes *)
   prng : Prng.t;
   mutable allocated : int;
@@ -50,7 +51,7 @@ let create machine config ~seed =
       ctx;
       collector;
       threads = Vec.create ();
-      globals = Hashtbl.create 64;
+      globals = Int_table.create 64;
       deaths = Heapq.create ();
       prng = Prng.create seed;
       allocated = 0;
@@ -60,9 +61,9 @@ let create machine config ~seed =
   ctx.Gc_ctx.iter_roots <-
     (fun f ->
       Vec.iter
-        (fun th -> if th.live then Hashtbl.iter (fun id () -> f id) th.roots)
+        (fun th -> if th.live then Int_table.iter f th.roots)
         t.threads;
-      Hashtbl.iter (fun id () -> f id) t.globals);
+      Int_table.iter f t.globals);
   t
 
 let machine t = t.machine
@@ -77,7 +78,7 @@ let spawn_thread t =
   let th =
     {
       tid = Vec.length t.threads;
-      roots = Hashtbl.create 64;
+      roots = Int_table.create 64;
       prng = Prng.split t.prng;
       live = true;
       quantum_allocs = 0;
@@ -91,7 +92,7 @@ let spawn_thread t =
 let kill_thread t th =
   if th.live then begin
     th.live <- false;
-    Hashtbl.reset th.roots;
+    Int_table.reset th.roots;
     t.ctx.Gc_ctx.mutator_threads <- max 0 (t.ctx.Gc_ctx.mutator_threads - 1)
   end
 
@@ -99,7 +100,7 @@ let threads t =
   Vec.fold (fun acc th -> if th.live then th :: acc else acc) [] t.threads
   |> List.rev
 
-let register_death t owner id lifetime =
+let[@inline] register_death t owner id lifetime =
   match lifetime with
   | `Permanent -> ()
   | `Bytes b -> Heapq.push t.deaths (t.allocated + max 1 b) (owner, id)
@@ -109,21 +110,25 @@ let alloc t th ~size ~lifetime =
   t.allocated <- t.allocated + size;
   th.quantum_allocs <- th.quantum_allocs + 1;
   th.quantum_bytes <- th.quantum_bytes + size;
-  Hashtbl.replace th.roots id ();
+  (* [add], not [replace]: a freshly allocated id is never already rooted
+     (rooted implies live, and live ids are not recycled), and insertion
+     at the bucket head is where [replace] would have put a new key too,
+     so the table's iteration order is unchanged. *)
+  Int_table.add th.roots id;
   register_death t (Thread_root th.tid) id lifetime;
   id
 
 let alloc_global t ~size ~lifetime =
   let id = t.collector.Collector.alloc ~size in
   t.allocated <- t.allocated + size;
-  Hashtbl.replace t.globals id ();
+  Int_table.add t.globals id;
   register_death t Global_root id lifetime;
   id
 
 let alloc_old_global t ~size ~lifetime =
   let id = t.collector.Collector.alloc_old ~size in
   t.allocated <- t.allocated + size;
-  Hashtbl.replace t.globals id ();
+  Int_table.add t.globals id;
   register_death t Global_root id lifetime;
   id
 
@@ -132,21 +137,27 @@ let add_ref t ~parent ~child = t.collector.Collector.write_ref ~parent ~child
 let remove_ref t ~parent ~child =
   t.collector.Collector.remove_ref ~parent ~child
 
-let drop_root _t th id = Hashtbl.remove th.roots id
+let drop_root _t th id = Int_table.remove th.roots id
 
-let drop_global_root t id = Hashtbl.remove t.globals id
+let drop_global_root t id = Int_table.remove t.globals id
 
-let global_root t id = Hashtbl.replace t.globals id ()
+let global_root t id = Int_table.replace t.globals id
 
-let process_deaths t =
-  List.iter
-    (fun (_key, (owner, id)) ->
-      match owner with
-      | Global_root -> Hashtbl.remove t.globals id
-      | Thread_root tid ->
-          let th = Vec.get t.threads tid in
-          if th.live then Hashtbl.remove th.roots id)
-    (Heapq.pop_until t.deaths t.allocated)
+let rec process_deaths t =
+  (* Drain due entries straight off the queue (same key order as the old
+     pop_until, without materialising an intermediate list). *)
+  match Heapq.min_key t.deaths with
+  | Some key when key <= t.allocated ->
+      (match Heapq.pop t.deaths with
+      | Some (_key, (owner, id)) -> (
+          match owner with
+          | Global_root -> Int_table.remove t.globals id
+          | Thread_root tid ->
+              let th = Vec.get t.threads tid in
+              if th.live then Int_table.remove th.roots id)
+      | None -> ());
+      process_deaths t
+  | Some _ | None -> ()
 
 let step t ~dt_us f =
   let n_live = ref 0 in

@@ -16,7 +16,7 @@ type t
 
 type thread = {
   tid : int;
-  roots : (int, unit) Hashtbl.t;  (** this thread's root set *)
+  roots : Gcperf_util.Int_table.t;  (** this thread's root set *)
   prng : Gcperf_util.Prng.t;
   mutable live : bool;
   mutable quantum_allocs : int;  (** allocations in the current quantum *)

@@ -1,0 +1,43 @@
+(* 32 bits per word: shifts instead of division, and no flirting with
+   OCaml's 63-bit int when computing masks. *)
+
+let bits_per_word = 32
+let word_of i = i lsr 5
+let mask_of i = 1 lsl (i land 31)
+
+type t = { mutable words : int array }
+
+let create ?(capacity = 256) () =
+  { words = Array.make (max 1 ((capacity + bits_per_word - 1) / bits_per_word)) 0 }
+
+let check i = if i < 0 then invalid_arg "Bitset: negative index"
+
+let capacity t = Array.length t.words * bits_per_word
+
+let mem t i =
+  check i;
+  let w = word_of i in
+  w < Array.length t.words && t.words.(w) land mask_of i <> 0
+
+let grow t needed_words =
+  let cap = Array.length t.words in
+  let ncap = ref (max 1 cap) in
+  while !ncap < needed_words do
+    ncap := !ncap * 2
+  done;
+  let nw = Array.make !ncap 0 in
+  Array.blit t.words 0 nw 0 cap;
+  t.words <- nw
+
+let set t i =
+  check i;
+  let w = word_of i in
+  if w >= Array.length t.words then grow t (w + 1);
+  t.words.(w) <- t.words.(w) lor mask_of i
+
+let clear t i =
+  check i;
+  let w = word_of i in
+  if w < Array.length t.words then t.words.(w) <- t.words.(w) land lnot (mask_of i)
+
+let reset t = Array.fill t.words 0 (Array.length t.words) 0

@@ -1,0 +1,27 @@
+(** Dense bitset over non-negative integer keys.
+
+    Backs the membership side of remembered sets: a compact [int Vec.t]
+    carries the member ids in insertion order (deterministic iteration)
+    while the bitset answers membership in O(1) without hashing.  The
+    set grows automatically on {!set}; {!mem} on an index beyond the
+    current capacity is simply [false]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty set.  [capacity] pre-sizes the backing store (in bits). *)
+
+val mem : t -> int -> bool
+(** @raise Invalid_argument on a negative index. *)
+
+val set : t -> int -> unit
+(** Adds the index, growing the backing store as needed. *)
+
+val clear : t -> int -> unit
+(** Removes the index; no-op if beyond capacity. *)
+
+val reset : t -> unit
+(** Removes every member, keeping the backing store. *)
+
+val capacity : t -> int
+(** Number of addressable bits currently backed by storage. *)

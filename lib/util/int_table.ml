@@ -1,0 +1,185 @@
+(* An integer-keyed hash set that reproduces [Hashtbl]'s observable
+   behaviour exactly — same hash function, same bucket count evolution,
+   same within-bucket ordering, hence the same iteration order — while
+   staying monomorphic and allocation-free on the add/remove fast path
+   (no generic-hash C call, no [Cons] cell per binding).
+
+   Root sets iterate in hash-table order and that order feeds GC traces,
+   whose visit order decides survivor-overflow promotion splits in the
+   simulator: swapping in a structure with any other iteration order
+   changes simulated results.  Fidelity is enforced by the test suite,
+   which drives this module and [Hashtbl] through identical operation
+   sequences and compares iteration orders (see test_util.ml). *)
+
+type bucket = { mutable keys : int array; mutable blen : int }
+
+type t = {
+  mutable buckets : bucket array;
+  mutable size : int;
+  initial_buckets : int;
+  (* one-entry hash memo: the dominant access pattern is add-then-remove
+     of the same key (root an allocation, drop the root), which would
+     otherwise mix the same word twice *)
+  mutable memo_key : int;
+  mutable memo_hash : int;
+}
+
+(* [Hashtbl.hash] on an [int], reimplemented: MurmurHash3 mixing of the
+   64-bit word folded to 32 bits, then the final avalanche, masked to 30
+   bits — bit-for-bit what runtime/hash.c computes. *)
+
+let[@inline] mul32 a b = a * b land 0xFFFFFFFF
+
+let[@inline] rotl32 x n = (x lsl n) lor (x lsr (32 - n)) land 0xFFFFFFFF
+
+let hash_int d =
+  (* The runtime mixes the tagged machine word w = 2d+1, not the value:
+     reconstruct w's two 32-bit halves from 63-bit OCaml arithmetic (w's
+     bit 63 is d's sign), then fold halves and sign as
+     caml_hash_mix_intnat does. *)
+  let t = (2 * d) + 1 in
+  let lo = t land 0xFFFFFFFF in
+  let hi =
+    (t asr 32) land 0x7FFFFFFF lor (if d < 0 then 0x80000000 else 0)
+  in
+  let sign = if d < 0 then 0xFFFFFFFF else 0 in
+  let n = hi lxor sign lxor lo in
+  let n = mul32 n 0xcc9e2d51 in
+  let n = rotl32 n 15 in
+  let n = mul32 n 0x1b873593 in
+  let h = n (* seed 0 lxor n *) in
+  let h = rotl32 h 13 in
+  let h = (mul32 h 5 + 0xe6546b64) land 0xFFFFFFFF in
+  (* FINAL_MIX *)
+  let h = h lxor (h lsr 16) in
+  let h = mul32 h 0x85ebca6b in
+  let h = h lxor (h lsr 13) in
+  let h = mul32 h 0xc2b2ae35 in
+  let h = h lxor (h lsr 16) in
+  h land 0x3FFFFFFF
+
+let rec power_2_above x n =
+  if x >= n then x
+  else if x * 2 > Sys.max_array_length then x
+  else power_2_above (x * 2) n
+
+let fresh_bucket _ = { keys = [||]; blen = 0 }
+
+let create n =
+  let nb = power_2_above 16 n in
+  {
+    buckets = Array.init nb fresh_bucket;
+    size = 0;
+    initial_buckets = nb;
+    memo_key = min_int;
+    memo_hash = 0;
+  }
+
+let length t = t.size
+
+(* Buckets are stored in traversal order: index 0 is the chain head (the
+   most recent insertion), as [Hashtbl.add]'s prepend leaves it. *)
+
+(* Shifts use manual loops, not [Array.blit]: buckets hold a handful of
+   keys and the blit's C call costs more than the moves themselves. *)
+let bucket_prepend b k =
+  let cap = Array.length b.keys in
+  if b.blen = cap then begin
+    let nk = Array.make (if cap = 0 then 4 else cap * 2) 0 in
+    for i = b.blen downto 1 do
+      nk.(i) <- b.keys.(i - 1)
+    done;
+    nk.(0) <- k;
+    b.keys <- nk
+  end
+  else begin
+    let keys = b.keys in
+    for i = b.blen downto 1 do
+      keys.(i) <- keys.(i - 1)
+    done;
+    keys.(0) <- k
+  end;
+  b.blen <- b.blen + 1
+
+let bucket_append b k =
+  let cap = Array.length b.keys in
+  if b.blen = cap then begin
+    let nk = Array.make (if cap = 0 then 4 else cap * 2) 0 in
+    Array.blit b.keys 0 nk 0 b.blen;
+    b.keys <- nk
+  end;
+  b.keys.(b.blen) <- k;
+  b.blen <- b.blen + 1
+
+(* [Hashtbl]'s resize appends each binding to its new chain's tail while
+   walking the old table in traversal order, so relative order survives a
+   resize; appending here reproduces that. *)
+let resize t =
+  let ob = t.buckets in
+  let nsize = Array.length ob * 2 in
+  if nsize < Sys.max_array_length then begin
+    let nb = Array.init nsize fresh_bucket in
+    t.buckets <- nb;
+    let mask = nsize - 1 in
+    Array.iter
+      (fun b ->
+        for i = 0 to b.blen - 1 do
+          let k = b.keys.(i) in
+          bucket_append nb.(hash_int k land mask) k
+        done)
+      ob
+  end
+
+let[@inline] memo_hash_int t k =
+  if k = t.memo_key then t.memo_hash
+  else begin
+    let h = hash_int k in
+    t.memo_key <- k;
+    t.memo_hash <- h;
+    h
+  end
+
+let[@inline] index t k = memo_hash_int t k land (Array.length t.buckets - 1)
+
+let add t k =
+  bucket_prepend t.buckets.(index t k) k;
+  t.size <- t.size + 1;
+  if t.size > Array.length t.buckets lsl 1 then resize t
+
+let mem t k =
+  let b = t.buckets.(index t k) in
+  let rec scan i = i < b.blen && (b.keys.(i) = k || scan (i + 1)) in
+  scan 0
+
+(* [Hashtbl.replace] of a present key rewrites its data cell in place —
+   for a set that is a no-op — and otherwise inserts like [add]. *)
+let replace t k = if not (mem t k) then add t k
+
+let remove t k =
+  let b = t.buckets.(index t k) in
+  let rec find i =
+    if i >= b.blen then -1 else if b.keys.(i) = k then i else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then begin
+    let keys = b.keys in
+    for j = i to b.blen - 2 do
+      keys.(j) <- keys.(j + 1)
+    done;
+    b.blen <- b.blen - 1;
+    t.size <- t.size - 1
+  end
+
+let iter f t =
+  Array.iter
+    (fun b ->
+      for i = 0 to b.blen - 1 do
+        f b.keys.(i)
+      done)
+    t.buckets
+
+let reset t =
+  t.size <- 0;
+  if Array.length t.buckets = t.initial_buckets then
+    Array.iter (fun b -> b.blen <- 0) t.buckets
+  else t.buckets <- Array.init t.initial_buckets fresh_bucket

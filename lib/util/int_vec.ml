@@ -1,21 +1,22 @@
-type 'a t = {
-  mutable data : 'a array;
-  mutable len : int;
-  mutable dummy : 'a option; (* fill value for growth, captured on first push *)
-}
+(* A growable vector of ints.  [Vec] instantiated at [int] still pays the
+   polymorphic array price on every access — a [caml_modify] call per
+   store and a flat-float-array tag check per load — because the element
+   type is erased inside the module.  The simulator's hottest loops
+   (object registries, free lists, ref vectors, trace stacks) move object
+   ids exclusively, so this monomorphic twin compiles those accesses to
+   single word loads and stores. *)
 
-let create ?(capacity = 8) () =
-  ignore capacity;
-  { data = [||]; len = 0; dummy = None }
+type t = { mutable data : int array; mutable len : int }
 
-let make n x = { data = Array.make (max n 1) x; len = n; dummy = Some x }
+let create ?(capacity = 0) () =
+  { data = (if capacity = 0 then [||] else Array.make capacity 0); len = 0 }
 
 let[@inline] length v = v.len
 
 let[@inline] is_empty v = v.len = 0
 
 let[@inline] check v i =
-  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+  if i < 0 || i >= v.len then invalid_arg "Int_vec: index out of bounds"
 
 let[@inline] get v i =
   check v i;
@@ -25,29 +26,21 @@ let[@inline] set v i x =
   check v i;
   v.data.(i) <- x
 
-let[@inline never] grow v x =
+let[@inline never] grow v =
   let cap = Array.length v.data in
-  let ncap = if cap = 0 then 8 else cap * 2 in
-  let nd = Array.make ncap x in
+  let nd = Array.make (if cap = 0 then 8 else cap * 2) 0 in
   Array.blit v.data 0 nd 0 v.len;
   v.data <- nd
 
 let[@inline] push v x =
-  (* physical match, not [v.dummy = None]: a structural compare here would
-     put a C call on every push in the simulator's hottest loops *)
-  (match v.dummy with None -> v.dummy <- Some x | Some _ -> ());
-  if v.len = Array.length v.data then grow v x;
+  if v.len = Array.length v.data then grow v;
   v.data.(v.len) <- x;
   v.len <- v.len + 1
 
 let[@inline] pop v =
-  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  if v.len = 0 then invalid_arg "Int_vec.pop: empty";
   v.len <- v.len - 1;
   v.data.(v.len)
-
-let[@inline] top v =
-  if v.len = 0 then invalid_arg "Vec.top: empty";
-  v.data.(v.len - 1)
 
 let[@inline] clear v = v.len <- 0
 
@@ -61,11 +54,6 @@ let swap_remove v i =
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)
-  done
-
-let iteri f v =
-  for i = 0 to v.len - 1 do
-    f i v.data.(i)
   done
 
 let fold f acc v =

@@ -1,4 +1,5 @@
 module Vec = Gcperf_util.Vec
+module Ivec = Gcperf_util.Int_vec
 module Prng = Gcperf_util.Prng
 module Vm = Gcperf_runtime.Vm
 module Machine = Gcperf_machine.Machine
@@ -9,8 +10,8 @@ type t = {
   profile : Profile.t;
   threads : Vm.thread array;
   prng : Prng.t;
-  live_set : int Vec.t;  (* long-lived objects, targets of update stores *)
-  recent : int Vec.t array;  (* per-thread ring of recently allocated ids *)
+  live_set : Ivec.t;  (* long-lived objects, targets of update stores *)
+  recent : Ivec.t array;  (* per-thread ring of recently allocated ids *)
   pending : int array;  (* per-thread sampled-but-unallocated size; 0 = none *)
   budget : float array;  (* per-thread allocation budget carry-over *)
   batch : (int * int) Vec.t;  (* (thread slot, id): iteration-lifetime roots *)
@@ -52,7 +53,7 @@ let build_live_set t =
     let size = sample_size t prng in
     let id = Vm.alloc_global t.vm ~size ~lifetime:`Permanent in
     built := !built + size;
-    Vec.push t.live_set id;
+    Ivec.push t.live_set id;
     (* Chain the live set so tracing it is real graph work. *)
     if !prev >= 0 && Vm.is_live t.vm !prev then
       Vm.add_ref t.vm ~parent:!prev ~child:id;
@@ -72,8 +73,8 @@ let create vm profile ~seed =
       profile;
       threads;
       prng;
-      live_set = Vec.create ();
-      recent = Array.init n (fun _ -> Vec.create ());
+      live_set = Ivec.create ();
+      recent = Array.init n (fun _ -> Ivec.create ());
       pending = Array.make n 0;
       budget = Array.make n 0.0;
       batch = Vec.create ();
@@ -86,25 +87,25 @@ let create vm profile ~seed =
 let vm t = t.vm
 let profile t = t.profile
 let thread_count t = Array.length t.threads
-let live_set_size t = Vec.length t.live_set
+let live_set_size t = Ivec.length t.live_set
 
 let remember_recent t slot id =
   let ring = t.recent.(slot) in
-  if Vec.length ring < recent_ring_size then Vec.push ring id
-  else Vec.set ring (Prng.int t.prng recent_ring_size) id
+  if Ivec.length ring < recent_ring_size then Ivec.push ring id
+  else Ivec.set ring (Prng.int t.prng recent_ring_size) id
 
 let link_new_object t slot id =
   let p = t.profile in
   let prng = t.prng in
   let ring = t.recent.(slot) in
-  if Vec.length ring > 0 && Prng.chance prng p.Profile.ref_locality then begin
-    let other = Vec.get ring (Prng.int prng (Vec.length ring)) in
+  if Ivec.length ring > 0 && Prng.chance prng p.Profile.ref_locality then begin
+    let other = Ivec.get ring (Prng.int prng (Ivec.length ring)) in
     if Vm.is_live t.vm other then
       if Prng.bool prng then Vm.add_ref t.vm ~parent:id ~child:other
       else Vm.add_ref t.vm ~parent:other ~child:id
   end;
   if
-    Vec.length t.live_set > 0
+    Ivec.length t.live_set > 0
     && Prng.chance prng p.Profile.update_store_prob
   then begin
     (* An update store: a long-lived object is mutated to reference the
@@ -112,12 +113,12 @@ let link_new_object t slot id =
        holder's slot is overwritten, not appended: real collections have
        bounded fan-out, so an old reference is dropped once the holder is
        full (otherwise update stores would pin every target forever). *)
-    let holder = Vec.get t.live_set (Prng.int prng (Vec.length t.live_set)) in
+    let holder = Ivec.get t.live_set (Prng.int prng (Ivec.length t.live_set)) in
     if Vm.is_live t.vm holder then begin
       let store = (Vm.collector t.vm).Gcperf_gc.Collector.store in
       let refs = (Gcperf_heap.Obj_store.get store holder).Gcperf_heap.Obj_store.refs in
-      if Vec.length refs >= holder_fanout_cap then begin
-        let victim = Vec.get refs (Prng.int prng (Vec.length refs)) in
+      if Ivec.length refs >= holder_fanout_cap then begin
+        let victim = Ivec.get refs (Prng.int prng (Ivec.length refs)) in
         Vm.remove_ref t.vm ~parent:holder ~child:victim
       end;
       Vm.add_ref t.vm ~parent:holder ~child:id
@@ -157,7 +158,7 @@ let allocate_one t slot th size =
       (* Move the root from the thread to the global live set. *)
       Vm.global_root t.vm id;
       Vm.drop_root t.vm th id;
-      Vec.push t.live_set id;
+      Ivec.push t.live_set id;
       remember_recent t slot id;
       link_new_object t slot id
 

@@ -318,6 +318,226 @@ let test_g1_young_collections_bounded () =
   Alcotest.(check bool) "young collections happened" true
     (d.Gcperf_gc.Gc_g1.young_collections >= 2)
 
+(* --- hot-path data structures (remembered set, epoch marks) ----------- *)
+
+module Gh = Gcperf_heap.Gen_heap
+module Gen_algo = Gcperf_gc.Gen_algo
+module Vec = Gcperf_util.Int_vec
+
+(* A bare generational heap driven directly through Gen_algo, with an
+   explicit root table standing in for the runtime. *)
+let make_bare_heap () =
+  let clock = Gcperf_sim.Clock.create () in
+  let events = Gc_event.create () in
+  let ctx = Gc_ctx.create machine clock events in
+  let store = Os.create () in
+  let heap = Gh.create store ~heap_bytes:(32 * mb) ~young_bytes:(8 * mb) () in
+  let roots : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  ctx.Gc_ctx.iter_roots <- (fun f -> Hashtbl.iter (fun id () -> f id) roots);
+  ctx.Gc_ctx.mutator_threads <- 1;
+  (ctx, store, heap, roots)
+
+let bare_params heap =
+  {
+    Gen_algo.workers = 1;
+    promote_rate = 1000.0;
+    usable_old_free = (fun () -> Gh.old_free heap);
+  }
+
+let has_live_young_ref store (o : Os.obj) =
+  Vec.exists
+    (fun r -> Os.is_live store r && Os.is_young_loc (Os.get store r).Os.loc)
+    o.Os.refs
+
+(* Soundness — must hold after EVERY mutation and collection: a live old
+   object with a young target is card-marked (a missed card would let a
+   young collection free reachable data). *)
+let remset_sound store heap =
+  let ok = ref true in
+  Os.iter_live store (fun o ->
+      if
+        o.Os.loc = Os.Old
+        && has_live_young_ref store o
+        && not (Gh.card_is_dirty heap o.Os.id)
+      then ok := false);
+  !ok
+
+(* Exactness — holds right after a collection's refresh: the tracked set
+   is precisely {live old objects with >= 1 live young ref}.  Between
+   collections entries may be sticky (card-table semantics), so only
+   soundness is required there. *)
+let remset_exact store heap =
+  let ok = ref true in
+  Os.iter_live store (fun o ->
+      if
+        o.Os.loc = Os.Old
+        && Gh.card_is_dirty heap o.Os.id <> has_live_young_ref store o
+      then ok := false);
+  !ok && Gh.dirty_count heap <= Os.live_count store
+
+let prop_remset_invariant =
+  (* >= 1000 randomized alloc / write_ref / remove_ref / kill / collection
+     steps per run.  The driver removes a victim's edges before unrooting
+     it, so objects die reference-free and ids never dangle — making the
+     shadow-free exactness check above well-defined. *)
+  QCheck.Test.make ~name:"remembered set invariant under random traffic"
+    ~count:3
+    QCheck.(list_of_size (Gen.int_range 1000 1300) (int_range 0 1_000_000))
+    (fun ops ->
+      let ctx, store, heap, roots = make_bare_heap () in
+      let params = bare_params heap in
+      let rooted = Vec.create () in
+      let edges = ref [] in
+      let failures = ref [] in
+      let require what cond = if not cond then failures := what :: !failures in
+      let collect_young () =
+        (try
+           ignore
+             (Gen_algo.collect_young ctx heap ~params ~collector:"prop"
+                ~reason:"prop")
+         with Gen_algo.Promotion_failure ->
+           ignore
+             (Gen_algo.collect_full ctx heap ~workers:1 ~collector:"prop"
+                ~reason:"prop"));
+        require "exact after young gc" (remset_exact store heap)
+      in
+      let collect_full () =
+        ignore
+          (Gen_algo.collect_full ctx heap ~workers:1 ~collector:"prop"
+             ~reason:"prop");
+        require "exact after full gc" (remset_exact store heap)
+      in
+      let root id =
+        Hashtbl.replace roots id ();
+        Vec.push rooted id
+      in
+      let step op =
+        match op mod 8 with
+        | 0 | 1 | 2 ->
+            (* Rooted eden allocation; collect on failure. *)
+            let size = 1024 * (1 + op mod 48) in
+            (match Gh.alloc_eden heap ~size with
+            | Some id -> root id
+            | None -> (
+                collect_young ();
+                match Gh.alloc_eden heap ~size with
+                | Some id -> root id
+                | None -> ()))
+        | 3 ->
+            (* Rooted old allocation (e.g. a humongous cluster). *)
+            let size = 1024 * (1 + op mod 64) in
+            (match Gh.alloc_old_direct heap ~size with
+            | Some id -> root id
+            | None -> (
+                collect_full ();
+                match Gh.alloc_old_direct heap ~size with
+                | Some id -> root id
+                | None -> ()))
+        | 4 ->
+            (* Store a reference between two live rooted objects. *)
+            let n = Vec.length rooted in
+            if n >= 2 then begin
+              let p = Vec.get rooted (op / 8 mod n)
+              and c = Vec.get rooted (op / 64 mod n) in
+              Gh.record_store heap ~parent:p ~child:c;
+              edges := (p, c) :: !edges
+            end
+        | 5 ->
+            (* Overwrite: remove one previously stored reference. *)
+            let len = List.length !edges in
+            if len > 0 then begin
+              let idx = op / 8 mod len in
+              let p, c = List.nth !edges idx in
+              Gh.remove_store heap ~parent:p ~child:c;
+              edges := List.filteri (fun i _ -> i <> idx) !edges
+            end
+        | 6 ->
+            (* Kill a rooted object: sever its edges, then unroot it. *)
+            let n = Vec.length rooted in
+            if n > 4 then begin
+              let idx = op / 8 mod n in
+              let id = Vec.get rooted idx in
+              List.iter
+                (fun (p, c) ->
+                  if p = id || c = id then Gh.remove_store heap ~parent:p ~child:c)
+                !edges;
+              edges := List.filter (fun (p, c) -> p <> id && c <> id) !edges;
+              Hashtbl.remove roots id;
+              ignore (Vec.swap_remove rooted idx)
+            end
+        | _ -> if op mod 40 = 7 then collect_full () else collect_young ()
+      in
+      List.iter
+        (fun op ->
+          step op;
+          require "sound after step" (remset_sound store heap))
+        ops;
+      collect_full ();
+      (match !failures with
+      | [] -> ()
+      | w :: _ -> QCheck.Test.fail_reportf "remset invariant broken: %s" w);
+      true)
+
+let naive_reachable ctx store =
+  let visited = Hashtbl.create 64 in
+  let rec go id =
+    if Os.is_live store id && not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      Vec.iter go (Os.get store id).Os.refs
+    end
+  in
+  ctx.Gc_ctx.iter_roots go;
+  List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) visited [])
+
+let test_epoch_marking_equivalence () =
+  let ctx, store, heap, roots = make_bare_heap () in
+  (* A little object graph spanning both generations, with shared
+     structure, a cycle, and unreachable clutter. *)
+  let young =
+    Array.init 24 (fun _ -> Option.get (Gh.alloc_eden heap ~size:4096))
+  in
+  let old =
+    Array.init 12 (fun _ -> Option.get (Gh.alloc_old_direct heap ~size:8192))
+  in
+  Array.iteri
+    (fun i id ->
+      if i mod 3 = 0 then Hashtbl.replace roots id ();
+      Gh.record_store heap ~parent:id ~child:young.((i * 7 + 3) mod 24))
+    young;
+  Array.iteri
+    (fun i id ->
+      if i mod 4 = 0 then Hashtbl.replace roots id ();
+      Gh.record_store heap ~parent:id ~child:young.((i * 5 + 1) mod 24);
+      Gh.record_store heap ~parent:id ~child:old.((i + 1) mod 12))
+    old;
+  Gh.record_store heap ~parent:young.(3) ~child:young.(3) (* self cycle *);
+  let trace_ids () =
+    List.sort compare (Vec.to_list (Gen_algo.trace_all ctx heap))
+  in
+  let expected = naive_reachable ctx store in
+  Alcotest.(check (list int)) "trace matches naive reachability" expected
+    (trace_ids ());
+  (* A second trace must not be polluted by the first one's marks: epoch
+     staleness replaces the clearing pass. *)
+  Alcotest.(check (list int)) "repeat trace identical" expected (trace_ids ());
+  (* Mark stamps answer is_marked for exactly the traced set. *)
+  ignore (trace_ids ());
+  Os.iter_live store (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_marked agrees for %d" o.Os.id)
+        (List.mem o.Os.id expected)
+        (Os.is_marked store o));
+  (* Fresh allocations are never marked, even on recycled slots. *)
+  let fresh = Option.get (Gh.alloc_eden heap ~size:1024) in
+  Alcotest.(check bool) "fresh object unmarked" false
+    (Os.is_marked store (Os.get store fresh));
+  (* After a collection reshuffles locations, equivalence still holds. *)
+  ignore
+    (Gen_algo.collect_young ctx heap ~params:(bare_params heap)
+       ~collector:"epoch" ~reason:"test");
+  Alcotest.(check (list int)) "trace after collection matches naive"
+    (naive_reachable ctx store) (trace_ids ())
+
 (* --- random programs preserve correctness (property) ----------------- *)
 
 let prop_random_program kind =
@@ -388,6 +608,12 @@ let () =
           Alcotest.test_case "marking and mixed" `Quick test_g1_marking_and_mixed;
           Alcotest.test_case "young collections" `Quick
             test_g1_young_collections_bounded;
+        ] );
+      ( "hot-path structures",
+        [
+          Alcotest.test_case "epoch marking equivalence" `Quick
+            test_epoch_marking_equivalence;
+          QCheck_alcotest.to_alcotest prop_remset_invariant;
         ] );
       ( "random programs",
         List.map

@@ -1,7 +1,7 @@
 (* Tests for the heap substrate: object store, generational layout with
    card table, and the G1 region layout with remembered sets. *)
 
-module Vec = Gcperf_util.Vec
+module Vec = Gcperf_util.Int_vec
 module Os = Gcperf_heap.Obj_store
 module Gh = Gcperf_heap.Gen_heap
 module Rh = Gcperf_heap.Region_heap
@@ -66,7 +66,7 @@ let test_store_live_ids () =
   let b = Os.alloc s ~size:1 ~loc:Os.Eden in
   let c = Os.alloc s ~size:1 ~loc:Os.Eden in
   Os.free s b;
-  Alcotest.(check (list int)) "live ids" [ a; c ] (Os.live_ids s)
+  Alcotest.(check (list int)) "live ids" [ a; c ] (Vec.to_list (Os.live_ids s))
 
 (* --- Gen_heap ------------------------------------------------------- *)
 
@@ -115,12 +115,20 @@ let test_gen_card_table () =
   let old = Option.get (Gh.alloc_old_direct h ~size:mb) in
   (* young -> old: no card. *)
   Gh.record_store h ~parent:young ~child:old;
-  Alcotest.(check int) "no card for young->old" 0
-    (Hashtbl.length h.Gh.dirty_cards);
+  Alcotest.(check int) "no card for young->old" 0 (Gh.dirty_count h);
   (* old -> young: card. *)
   Gh.record_store h ~parent:old ~child:young;
-  Alcotest.(check bool) "card for old->young" true
-    (Hashtbl.mem h.Gh.dirty_cards old);
+  Alcotest.(check bool) "card for old->young" true (Gh.card_is_dirty h old);
+  (* Removing the young ref does not clean the card (card-table
+     semantics)... *)
+  Gh.remove_store h ~parent:old ~child:young;
+  Alcotest.(check bool) "card sticky until refresh" true
+    (Gh.card_is_dirty h old);
+  (* ...but the next collection's refresh retires it. *)
+  Gh.refresh_cards h ~extra:(Vec.create ());
+  Alcotest.(check bool) "card retired by refresh" false
+    (Gh.card_is_dirty h old);
+  Alcotest.(check int) "no entries after refresh" 0 (Gh.dirty_count h);
   ignore s
 
 let test_gen_invariants () =

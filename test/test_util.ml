@@ -3,6 +3,7 @@
 module Prng = Gcperf_util.Prng
 module Vec = Gcperf_util.Vec
 module Heapq = Gcperf_util.Heapq
+module Bitset = Gcperf_util.Bitset
 
 (* --- Prng ----------------------------------------------------------- *)
 
@@ -189,6 +190,119 @@ let prop_vec_model =
         ops;
       List.rev !model = Vec.to_list v)
 
+(* --- Int_vec -------------------------------------------------------- *)
+
+module Ivec = Gcperf_util.Int_vec
+
+let test_int_vec_basics () =
+  let v = Ivec.create () in
+  Alcotest.(check bool) "fresh empty" true (Ivec.is_empty v);
+  for i = 0 to 99 do
+    Ivec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Ivec.length v);
+  Ivec.set v 2 42;
+  Alcotest.(check int) "set/get" 42 (Ivec.get v 2);
+  Alcotest.check_raises "oob get"
+    (Invalid_argument "Int_vec: index out of bounds") (fun () ->
+      ignore (Ivec.get v 100));
+  for i = 99 downto 3 do
+    Alcotest.(check int) "pop order" i (Ivec.pop v)
+  done;
+  Ivec.clear v;
+  Alcotest.(check bool) "empty after clear" true (Ivec.is_empty v)
+
+let test_int_vec_swap_remove () =
+  let v = Ivec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "removed" 2 (Ivec.swap_remove v 1);
+  Alcotest.(check (list int)) "last moved in" [ 1; 4; 3 ] (Ivec.to_list v)
+
+let test_int_vec_filter_in_place () =
+  let v = Ivec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  Ivec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens, order kept" [ 2; 4; 6 ] (Ivec.to_list v)
+
+let prop_int_vec_matches_vec =
+  (* The monomorphic twin must behave exactly like the generic [Vec] it
+     replaces on hot paths. *)
+  QCheck.Test.make ~name:"int_vec matches generic vec" ~count:300
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let iv = Ivec.create () and v = Vec.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | Some x ->
+              Ivec.push iv x;
+              Vec.push v x
+          | None ->
+              if not (Vec.is_empty v) then assert (Ivec.pop iv = Vec.pop v))
+        ops;
+      Ivec.to_list iv = Vec.to_list v)
+
+(* --- Int_table ------------------------------------------------------ *)
+
+module Itbl = Gcperf_util.Int_table
+
+let test_int_table_hash () =
+  (* [hash_int] must agree with [Hashtbl.hash] bit-for-bit: the simulator
+     relies on it to reproduce [Hashtbl]'s bucket assignment (and hence
+     root-set iteration order).  Sweep representative and adversarial
+     values, including the sign-handling edge cases. *)
+  let check d =
+    Alcotest.(check int)
+      (Printf.sprintf "hash %d" d)
+      (Hashtbl.hash d) (Itbl.hash_int d)
+  in
+  List.iter check
+    [
+      0; 1; -1; 2; 42; 1000; -1000; 123456789; -123456789; max_int; min_int;
+      max_int - 1; min_int + 1; 0x3FFFFFFF; -0x40000000; 1 lsl 32;
+      -(1 lsl 32); (1 lsl 62) - 1;
+    ];
+  let p = Prng.create 77 in
+  for _ = 1 to 10_000 do
+    check (Int64.to_int (Prng.bits64 p))
+  done
+
+let prop_int_table_order =
+  (* Iteration-order fidelity against a real [(int, unit) Hashtbl.t]:
+     identical operation sequences must leave identical iteration orders
+     (which subsumes membership and size), across resizes and resets. *)
+  QCheck.Test.make ~name:"int_table matches Hashtbl iteration order"
+    ~count:200
+    QCheck.(list (pair (int_range 0 3) (int_range 0 300)))
+    (fun ops ->
+      let t = Itbl.create 16 in
+      let h : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              Itbl.add t k;
+              Hashtbl.add h k ()
+          | 1 ->
+              Itbl.replace t k;
+              Hashtbl.replace h k ()
+          | 2 ->
+              Itbl.remove t k;
+              Hashtbl.remove h k
+          | _ ->
+              if k < 15 then begin
+                (* occasional reset exercises the initial-buckets path *)
+                Itbl.reset t;
+                Hashtbl.reset h
+              end)
+        ops;
+      let order tbl_iter =
+        let acc = ref [] in
+        tbl_iter (fun k -> acc := k :: !acc);
+        List.rev !acc
+      in
+      Itbl.length t = Hashtbl.length h
+      && order (fun f -> Itbl.iter f t)
+         = order (fun f -> Hashtbl.iter (fun k () -> f k) h))
+
 (* --- Heapq ---------------------------------------------------------- *)
 
 let test_heapq_ordering () =
@@ -235,6 +349,64 @@ let prop_heapq_sorted =
       in
       drain [] = List.sort compare keys)
 
+(* --- Bitset --------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create () in
+  Alcotest.(check bool) "initially absent" false (Bitset.mem b 3);
+  Bitset.set b 3;
+  Alcotest.(check bool) "present after set" true (Bitset.mem b 3);
+  Alcotest.(check bool) "neighbours unaffected" false
+    (Bitset.mem b 2 || Bitset.mem b 4);
+  Bitset.clear b 3;
+  Alcotest.(check bool) "absent after clear" false (Bitset.mem b 3);
+  (* Clearing beyond capacity is a no-op, not an error. *)
+  Bitset.clear b 1_000_000
+
+let test_bitset_growth () =
+  let b = Bitset.create ~capacity:8 () in
+  Bitset.set b 7;
+  Bitset.set b 4097;
+  Alcotest.(check bool) "low bit kept across growth" true (Bitset.mem b 7);
+  Alcotest.(check bool) "high bit present" true (Bitset.mem b 4097);
+  Alcotest.(check bool) "beyond capacity is false" false (Bitset.mem b 100_000);
+  Alcotest.(check bool) "capacity grew" true (Bitset.capacity b > 4097)
+
+let test_bitset_reset () =
+  let b = Bitset.create () in
+  List.iter (Bitset.set b) [ 0; 31; 32; 63; 64; 1000 ];
+  Bitset.reset b;
+  Alcotest.(check bool) "all cleared" false
+    (List.exists (Bitset.mem b) [ 0; 31; 32; 63; 64; 1000 ])
+
+let test_bitset_negative () =
+  let b = Bitset.create () in
+  Alcotest.check_raises "negative mem"
+    (Invalid_argument "Bitset: negative index") (fun () ->
+      ignore (Bitset.mem b (-1)))
+
+let prop_bitset_model =
+  (* Against a Hashtbl model: same membership after arbitrary set/clear
+     interleavings, including indices around word boundaries. *)
+  QCheck.Test.make ~name:"bitset matches set model" ~count:300
+    QCheck.(list (pair bool (int_range 0 200)))
+    (fun ops ->
+      let b = Bitset.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.set b i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.clear b i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      List.for_all (fun i -> Bitset.mem b i = Hashtbl.mem model i)
+        (List.init 201 Fun.id))
+
 let () =
   Alcotest.run "util"
     [
@@ -266,11 +438,33 @@ let () =
           Alcotest.test_case "clear retains capacity" `Quick test_vec_clear_retains;
           QCheck_alcotest.to_alcotest prop_vec_model;
         ] );
+      ( "int_vec",
+        [
+          Alcotest.test_case "basics" `Quick test_int_vec_basics;
+          Alcotest.test_case "swap_remove" `Quick test_int_vec_swap_remove;
+          Alcotest.test_case "filter_in_place" `Quick
+            test_int_vec_filter_in_place;
+          QCheck_alcotest.to_alcotest prop_int_vec_matches_vec;
+        ] );
+      ( "int_table",
+        [
+          Alcotest.test_case "hash_int = Hashtbl.hash" `Quick
+            test_int_table_hash;
+          QCheck_alcotest.to_alcotest prop_int_table_order;
+        ] );
       ( "heapq",
         [
           Alcotest.test_case "ordering" `Quick test_heapq_ordering;
           Alcotest.test_case "pop_until" `Quick test_heapq_pop_until;
           Alcotest.test_case "min_key" `Quick test_heapq_min_key;
           QCheck_alcotest.to_alcotest prop_heapq_sorted;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "set/mem/clear" `Quick test_bitset_basic;
+          Alcotest.test_case "growth" `Quick test_bitset_growth;
+          Alcotest.test_case "reset" `Quick test_bitset_reset;
+          Alcotest.test_case "negative index" `Quick test_bitset_negative;
+          QCheck_alcotest.to_alcotest prop_bitset_model;
         ] );
     ]
