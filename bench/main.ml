@@ -24,6 +24,8 @@ open Toolkit
 module Vm = Gcperf_runtime.Vm
 module Machine = Gcperf_machine.Machine
 module Gc_config = Gcperf_gc.Gc_config
+module Telemetry = Gcperf_telemetry.Telemetry
+module Span = Gcperf_telemetry.Span
 
 let mb = 1024 * 1024
 let machine = Machine.paper_server ()
@@ -113,6 +115,58 @@ let micro_tests =
              let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
              Vm.drop_root vm th id
            done));
+    Test.make ~name:"young-gc-g1-telemetry"
+      (* Same loop with an enabled registry riding along: the pair bounds
+         the tracing overhead on the hottest collection path (<5% is the
+         budget DESIGN.md commits to). *)
+      (let telemetry = Telemetry.create ~enabled:true () in
+       let vm =
+         Vm.create ~telemetry machine
+           (Gc_config.default Gc_config.G1 ~heap_bytes:(256 * mb)
+              ~young_bytes:(64 * mb))
+           ~seed:7
+       in
+       let th = Vm.spawn_thread vm in
+       let calls = ref 0 in
+       Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+             Vm.drop_root vm th id
+           done;
+           (* Bound the span list so long quotas measure recording, not
+              the memory of an unbounded trace. *)
+           incr calls;
+           if !calls land 0x3FF = 0 then Telemetry.clear telemetry));
+    Test.make ~name:"record-span"
+      (* Raw cost of one span record: append + two histogram folds +
+         three counter bumps, the per-pause telemetry tax. *)
+      (let telemetry = Telemetry.create ~enabled:true () in
+       let span =
+         {
+           Span.collector = "G1GC";
+           kind = "young";
+           cause = "eden target reached";
+           start_us = 1.0e6;
+           duration_us = 12345.6;
+           phases =
+             [
+               (Span.Safepoint, 800.0);
+               (Span.Root_scan, 900.0);
+               (Span.Fixed, 900.0);
+               (Span.Copy, 9745.6);
+             ];
+           young_before = 64 * mb;
+           young_after = 4 * mb;
+           old_before = 16 * mb;
+           old_after = 17 * mb;
+           promoted = mb;
+         }
+       in
+       let calls = ref 0 in
+       Staged.stage (fun () ->
+           Telemetry.record_span telemetry span;
+           incr calls;
+           if !calls land 0xFFFF = 0 then Telemetry.clear telemetry));
     Test.make ~name:"full-gc-serial"
       (let vm, th = vm_for Gc_config.Serial in
        let _keep =

@@ -1,18 +1,42 @@
 (* gcperf: command-line front end for the GC performance study.
 
    `gcperf list` enumerates experiments, `gcperf run <id>` regenerates a
-   table or figure of the paper, `gcperf bench <name>` runs a single
+   table or figure of the paper (text, CSV or JSON), `gcperf trace
+   <collector>` runs a benchmark with telemetry on and dumps the pause
+   spans plus percentile summaries, `gcperf bench <name>` runs a single
    DaCapo-like benchmark under a chosen collector, and `gcperf suite`
    prints the benchmark descriptions. *)
 
 open Cmdliner
+module Telemetry = Gcperf_telemetry.Telemetry
+module Sink = Gcperf_telemetry.Sink
 
 let quick_arg =
   let doc =
-    "Quick mode: scale down run and iteration counts (useful for smoke \
-     tests; the full configuration matches the paper)."
+    "Quick mode: shorthand for $(b,--scope ci) (useful for smoke tests; \
+     the full configuration matches the paper)."
   in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+let scope_arg =
+  let doc =
+    "Run budget: $(b,ci) (smoke-test scale, the old quick mode), \
+     $(b,bench) (intermediate) or $(b,full) (the paper's configuration)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scope"; "s" ] ~docv:"SCOPE" ~doc)
+
+let resolve_scope quick scope =
+  match scope with
+  | None -> if quick then Gcperf.Scope.ci else Gcperf.Scope.full
+  | Some s -> (
+      match Gcperf.Scope.of_string s with
+      | Some scope -> scope
+      | None ->
+          Printf.eprintf "unknown scope %S; expected ci, bench or full\n" s;
+          exit 1)
 
 let out_arg =
   let doc = "Write the rendered artifact to $(docv) instead of stdout." in
@@ -41,6 +65,18 @@ let list_cmd =
 
 (* --- run ----------------------------------------------------------- *)
 
+let format_arg =
+  let doc = "Output format: $(b,text), $(b,csv) or $(b,json)." in
+  Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+
+let parse_format = function
+  | "text" -> `Text
+  | "csv" -> `Csv
+  | "json" -> `Json
+  | s ->
+      Printf.eprintf "unknown format %S; expected text, csv or json\n" s;
+      exit 1
+
 let run_cmd =
   let doc = "Regenerate one table or figure of the study." in
   let id_arg =
@@ -50,14 +86,107 @@ let run_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Experiment id (see $(b,gcperf list)).")
   in
-  let run id quick out =
-    match Gcperf.Experiments.by_name id with
+  let run id quick scope format out =
+    let scope = resolve_scope quick scope in
+    let format = parse_format format in
+    match Gcperf.Experiments.artifact ~scope id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `gcperf list`\n" id;
         exit 1
-    | Some f -> emit out (f ~quick)
+    | Some artifact -> emit out (Gcperf.Artifact.render artifact format)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ id_arg $ quick_arg $ out_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id_arg $ quick_arg $ scope_arg $ format_arg $ out_arg)
+
+(* --- trace --------------------------------------------------------- *)
+
+let trace_cmd =
+  let doc =
+    "Run one benchmark with telemetry enabled and dump the GC trace: \
+     one JSON line per pause with its per-phase breakdown, then a \
+     percentile summary (p50/p90/p99/p99.9/max) per pause kind and a \
+     time-to-safepoint summary."
+  in
+  let collector_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"COLLECTOR"
+          ~doc:"Collector: serial, parnew, parallel, parallelold, cms, g1.")
+  in
+  let bench_arg =
+    let doc = "DaCapo-like benchmark to drive the collector." in
+    Arg.(value & opt string "xalan" & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let heap_arg =
+    let doc = "Heap size in megabytes." in
+    Arg.(value & opt int 16384 & info [ "heap" ] ~docv:"MB" ~doc)
+  in
+  let young_arg =
+    let doc = "Young generation size in megabytes." in
+    Arg.(value & opt int 5734 & info [ "young" ] ~docv:"MB" ~doc)
+  in
+  let iterations_arg =
+    Arg.(value & opt int 5 & info [ "n"; "iterations" ] ~doc:"Iterations.")
+  in
+  let trace_format_arg =
+    let doc =
+      "Output: $(b,jsonl) (pause spans + summaries), $(b,csv) (flat span \
+       rows), $(b,metrics) (gauge/counter series as CSV) or $(b,summary) \
+       (one JSON percentile object)."
+    in
+    Arg.(value & opt string "jsonl" & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+  in
+  let run collector bench heap young iterations format out =
+    let kind =
+      match Gcperf_gc.Gc_config.kind_of_string collector with
+      | Some k -> k
+      | None ->
+          Printf.eprintf "unknown collector %S\n" collector;
+          exit 1
+    in
+    let b =
+      match Gcperf_dacapo.Suite.find bench with
+      | Some b -> b
+      | None ->
+          Printf.eprintf "unknown benchmark %S; try `gcperf suite`\n" bench;
+          exit 1
+    in
+    let render =
+      match format with
+      | "jsonl" -> Sink.trace_jsonl
+      | "csv" -> Sink.spans_csv
+      | "metrics" -> Sink.metrics_csv
+      | "summary" -> fun t -> Sink.summary_json t ^ "\n"
+      | s ->
+          Printf.eprintf
+            "unknown format %S; expected jsonl, csv, metrics or summary\n" s;
+          exit 1
+    in
+    let mb = 1024 * 1024 in
+    let gc =
+      Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
+        ~young_bytes:(young * mb)
+    in
+    (* The registry is explicitly enabled here; everywhere else the
+       process-wide default (off) applies, so experiments never pay for
+       tracing they do not read. *)
+    let telemetry = Telemetry.create ~enabled:true () in
+    let machine = Gcperf_machine.Machine.paper_server () in
+    let r =
+      Gcperf_dacapo.Harness.run ~telemetry ~iterations machine b ~gc
+        ~system_gc:false ()
+    in
+    if r.Gcperf_dacapo.Harness.crashed then begin
+      Printf.eprintf "benchmark %s crashes under the study's setup\n" bench;
+      exit 1
+    end;
+    emit out (render telemetry)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ collector_arg $ bench_arg $ heap_arg $ young_arg
+      $ iterations_arg $ trace_format_arg $ out_arg)
 
 (* --- bench --------------------------------------------------------- *)
 
@@ -178,20 +307,19 @@ let suite_cmd =
 
 let all_cmd =
   let doc = "Run every experiment and print all artifacts in order." in
-  let run quick =
+  let run quick scope =
+    let scope = resolve_scope quick scope in
     List.iter
-      (fun id ->
-        match Gcperf.Experiments.by_name id with
-        | None -> ()
-        | Some f ->
-            Printf.printf "==== %s ====\n%s\n%!" id (f ~quick))
-      Gcperf.Experiments.all_names
+      (fun (id, build) ->
+        Printf.printf "==== %s ====\n%s\n%!" id
+          (Gcperf.Artifact.to_text (build ~scope)))
+      Gcperf.Experiments.artifacts
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg $ scope_arg)
 
 let main =
   let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in
   let info = Cmd.info "gcperf" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; bench_cmd; suite_cmd; all_cmd ]
+  Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_cmd; suite_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,44 @@
+(** Typed experiment artifacts.
+
+    Every experiment produces one of these: an identified, parameterised
+    set of structured rows plus the legacy plain-text renderer.  The
+    three render targets share the same rows, so CSV and JSON exports
+    can never drift from the pretty tables.  The historical
+    [?quick -> string] entry points in {!Experiments} are thin wrappers
+    over [to_text]. *)
+
+type cell = Text of string | Int of int | Float of float | Bool of bool
+
+type t = private {
+  name : string;  (** experiment id, e.g. "table2" *)
+  title : string;
+  params : (string * string) list;
+      (** run parameters (scope, collector, benchmark, ...) *)
+  columns : string list;
+  rows : cell list list;  (** each row has [List.length columns] cells *)
+  render_text : unit -> string;  (** the legacy pretty renderer *)
+}
+
+val make :
+  name:string ->
+  title:string ->
+  params:(string * string) list ->
+  columns:string list ->
+  rows:cell list list ->
+  render_text:(unit -> string) ->
+  t
+
+val cell_to_string : cell -> string
+
+val to_text : t -> string
+(** The plain-text table/figure, exactly what the string API returns. *)
+
+val to_csv : t -> string
+(** Header + rows, RFC-4180 quoting. *)
+
+val to_json : t -> string
+(** One object: name, title, params, columns, rows. *)
+
+type format = [ `Text | `Csv | `Json ]
+
+val render : t -> format -> string

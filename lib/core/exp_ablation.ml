@@ -38,10 +38,10 @@ let max_full events =
 
 (* Ablation 1: G1 with a parallel full collection, on the Figure 1/2
    campaign (xalan, forced system GC). *)
-let ablate_g1_full ~quick =
+let ablate_g1_full ~scope =
   let machine = Exp_common.machine () in
   let bench = Option.get (Suite.find "xalan") in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   let one mode g1_parallel_full =
     let gc =
       { (Exp_common.baseline Gc_config.G1) with Gc_config.g1_parallel_full }
@@ -60,8 +60,9 @@ let ablate_g1_full ~quick =
 
 (* Ablation 2: the NUMA remote-access penalty, on the stressed server's
    ParallelOld full collection. *)
-let ablate_numa ~quick =
-  let hours = if quick then 0.1 else 0.6 in
+let ablate_numa ~scope =
+  (* Short campaign anyway; never below the 0.1 h the quick mode used. *)
+  let hours = Float.max 0.1 (Scope.hours scope 0.6) in
   let one numa_factor =
     let base = Machine.paper_server () in
     let machine =
@@ -92,10 +93,10 @@ let ablate_numa ~quick =
   [ one 3.2 (* the model's default *); one 1.0 (* NUMA-oblivious ideal *) ]
 
 (* Ablation 3: tenuring-threshold sweep on h2 with a small heap. *)
-let ablate_tenuring ~quick =
+let ablate_tenuring ~scope =
   let machine = Exp_common.machine () in
   let bench = Option.get (Suite.find "h2") in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   let thresholds = [ 1; 3; 6; 12 ] in
   List.map
     (fun threshold ->
@@ -130,12 +131,14 @@ let ablate_tenuring ~quick =
       })
     thresholds
 
-let run ?(quick = false) () =
+let run_scope ~scope () =
   {
-    g1_full = ablate_g1_full ~quick;
-    numa = ablate_numa ~quick;
-    tenuring = ablate_tenuring ~quick;
+    g1_full = ablate_g1_full ~scope;
+    numa = ablate_numa ~scope;
+    tenuring = ablate_tenuring ~scope;
   }
+
+let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 
 let render r =
   let buf = Buffer.create 1024 in

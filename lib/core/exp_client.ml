@@ -18,16 +18,16 @@ type result = {
   g1 : gc_experiment;
 }
 
-let one ?(quick = false) kind =
+let one ~scope kind =
   let server =
-    Exp_server.run_server ~quick ~kind ~stress:true ~hours:2.0 ()
+    Exp_server.run_server_scope ~scope ~kind ~stress:true ~hours:2.0 ()
   in
   let workload =
     let w = Client.paper_workload in
     {
       w with
       Client.duration_s = server.Exp_server.duration_s;
-      ops_per_s = (if quick then w.Client.ops_per_s /. 4.0 else w.Client.ops_per_s);
+      ops_per_s = Scope.rate scope w.Client.ops_per_s;
     }
   in
   let points =
@@ -42,12 +42,14 @@ let one ?(quick = false) kind =
     update_report = Client.report points ~kind:Client.Update;
   }
 
-let run ?(quick = false) () =
+let run_scope ~scope () =
   {
-    parallel_old = one ~quick Gc_config.ParallelOld;
-    cms = one ~quick Gc_config.Cms;
-    g1 = one ~quick Gc_config.G1;
+    parallel_old = one ~scope Gc_config.ParallelOld;
+    cms = one ~scope Gc_config.Cms;
+    g1 = one ~scope Gc_config.G1;
   }
+
+let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 
 (* The paper plots only the highest 10000 points of each chart. *)
 let top_points e =

@@ -53,4 +53,4 @@ let kind_name = Gc_config.kind_to_string
 
 let seed = 42
 
-let scaled ~quick n = if quick then max 1 (n / 4) else n
+let scaled ~quick n = Scope.scaled (Scope.of_quick quick) n

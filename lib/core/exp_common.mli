@@ -37,5 +37,6 @@ val seed : int
 (** Base seed; replicated runs derive their own deterministically. *)
 
 val scaled : quick:bool -> int -> int
-(** [scaled ~quick n] is [n], or a reduced count in quick mode (for the
-    test suite and the bechamel harness). *)
+(** [scaled ~quick n] is [Scope.scaled (Scope.of_quick quick) n] — kept
+    for callers still on the boolean API; new code should take a
+    {!Scope.t} and use {!Scope.scaled} directly. *)

@@ -17,11 +17,10 @@ let kind_index kind =
   in
   find 0 Exp_common.all_kinds
 
-let run ?(quick = false) () =
+let run_scope ~scope () =
   let machine = Exp_common.machine () in
-  let iterations = Exp_common.scaled ~quick 10 in
-  let grid = Exp_common.size_grid () in
-  let grid = if quick then [ List.hd grid ] else grid in
+  let iterations = Scope.scaled scope 10 in
+  let grid = Scope.grid scope (Exp_common.size_grid ()) in
   let benches = Suite.stable_subset in
   let mode system_gc =
     let wins = Hashtbl.create 8 in
@@ -67,6 +66,8 @@ let run ?(quick = false) () =
   let with_sys, n = mode true in
   let without_sys, _ = mode false in
   { with_system_gc = with_sys; without_system_gc = without_sys; experiments = n }
+
+let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 
 let render result =
   let part title ranking =

@@ -15,6 +15,9 @@ type result = {
   experiments : int;  (** experiments per mode *)
 }
 
+val run_scope : scope:Scope.t -> unit -> result
+
 val run : ?quick:bool -> unit -> result
+(** [run_scope] with {!Scope.of_quick}. *)
 
 val render : result -> string

@@ -64,7 +64,7 @@ let summarise vm ~gc ~config_name ~oom =
     oom;
   }
 
-let run_server ?(quick = false) ~kind ~stress ~hours () =
+let run_server_scope ~scope ~kind ~stress ~hours () =
   let machine = Exp_common.machine () in
   let gc = server_gc kind in
   let vm = Vm.create machine gc ~seed:Exp_common.seed in
@@ -73,14 +73,14 @@ let run_server ?(quick = false) ~kind ~stress ~hours () =
     else Server.default_config
   in
   let server = Server.create vm config ~seed:(Exp_common.seed + 1) in
-  let hours = if quick then hours /. 10.0 else hours in
+  let hours = Scope.hours scope hours in
   let oom = ref false in
   (try
      if stress then begin
        (* Pre-loaded database: the server replays its commit log before
           serving, exactly as the paper's stressed Cassandra must. *)
        Server.replay_commitlog server
-         ~target_bytes:(if quick then preload_bytes / 10 else preload_bytes);
+         ~target_bytes:(Scope.bytes scope preload_bytes);
        Server.run server ~duration_s:(hours *. 3600.0)
          ~ops_per_s:transaction_ops_per_s ~read_frac:transaction_read_frac
          ~insert_frac:transaction_insert_frac
@@ -99,13 +99,18 @@ let run_server ?(quick = false) ~kind ~stress ~hours () =
   in
   { run with db_timeline = Server.db_size_timeline server }
 
+let run_server ?(quick = false) ~kind ~stress ~hours () =
+  run_server_scope ~scope:(Scope.of_quick quick) ~kind ~stress ~hours ()
+
 type figure4 = { cms : server_run; g1 : server_run }
 
-let figure4 ?(quick = false) () =
+let figure4_scope ~scope () =
   {
-    cms = run_server ~quick ~kind:Gc_config.Cms ~stress:true ~hours:2.0 ();
-    g1 = run_server ~quick ~kind:Gc_config.G1 ~stress:true ~hours:2.0 ();
+    cms = run_server_scope ~scope ~kind:Gc_config.Cms ~stress:true ~hours:2.0 ();
+    g1 = run_server_scope ~scope ~kind:Gc_config.G1 ~stress:true ~hours:2.0 ();
   }
+
+let figure4 ?(quick = false) () = figure4_scope ~scope:(Scope.of_quick quick) ()
 
 let render_figure4 f =
   let series =
@@ -135,15 +140,21 @@ type parallel_old_analysis = {
   stress : server_run;
 }
 
-let parallel_old_analysis ?(quick = false) () =
+let parallel_old_analysis_scope ~scope () =
   {
     one_hour =
-      run_server ~quick ~kind:Gc_config.ParallelOld ~stress:false ~hours:1.0 ();
+      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:false
+        ~hours:1.0 ();
     two_hours =
-      run_server ~quick ~kind:Gc_config.ParallelOld ~stress:false ~hours:2.0 ();
+      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:false
+        ~hours:2.0 ();
     stress =
-      run_server ~quick ~kind:Gc_config.ParallelOld ~stress:true ~hours:2.0 ();
+      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:true
+        ~hours:2.0 ();
   }
+
+let parallel_old_analysis ?(quick = false) () =
+  parallel_old_analysis_scope ~scope:(Scope.of_quick quick) ()
 
 let render_parallel_old a =
   let t =

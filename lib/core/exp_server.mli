@@ -27,6 +27,14 @@ type server_run = {
   oom : bool;
 }
 
+val run_server_scope :
+  scope:Scope.t ->
+  kind:Gcperf_gc.Gc_config.kind ->
+  stress:bool ->
+  hours:float ->
+  unit ->
+  server_run
+
 val run_server :
   ?quick:bool ->
   kind:Gcperf_gc.Gc_config.kind ->
@@ -34,8 +42,11 @@ val run_server :
   hours:float ->
   unit ->
   server_run
+(** [run_server_scope] with {!Scope.of_quick}. *)
 
 type figure4 = { cms : server_run; g1 : server_run }
+
+val figure4_scope : scope:Scope.t -> unit -> figure4
 
 val figure4 : ?quick:bool -> unit -> figure4
 
@@ -46,6 +57,8 @@ type parallel_old_analysis = {
   two_hours : server_run;
   stress : server_run;
 }
+
+val parallel_old_analysis_scope : scope:Scope.t -> unit -> parallel_old_analysis
 
 val parallel_old_analysis : ?quick:bool -> unit -> parallel_old_analysis
 

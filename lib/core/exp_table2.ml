@@ -13,10 +13,10 @@ type row = {
 
 type result = { rows : row list }
 
-let run ?(quick = false) ?(all_benchmarks = false) () =
+let run_scope ~scope ?(all_benchmarks = false) () =
   let machine = Exp_common.machine () in
-  let runs = Exp_common.scaled ~quick 10 in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let runs = Scope.scaled scope 10 in
+  let iterations = Scope.scaled scope 10 in
   let benches =
     if all_benchmarks then
       List.filter (fun b -> not b.Suite.crashes) Suite.all
@@ -42,6 +42,9 @@ let run ?(quick = false) ?(all_benchmarks = false) () =
       benches
   in
   { rows }
+
+let run ?(quick = false) ?all_benchmarks () =
+  run_scope ~scope:(Scope.of_quick quick) ?all_benchmarks ()
 
 let render result =
   let t =

@@ -15,8 +15,11 @@ type row = {
 
 type result = { rows : row list }
 
-val run : ?quick:bool -> ?all_benchmarks:bool -> unit -> result
+val run_scope : scope:Scope.t -> ?all_benchmarks:bool -> unit -> result
 (** [all_benchmarks] also measures the unstable benchmarks (the paper ran
     everything and then selected); default false = the Table 2 subset. *)
+
+val run : ?quick:bool -> ?all_benchmarks:bool -> unit -> result
+(** [run_scope] with {!Scope.of_quick}. *)
 
 val render : result -> string

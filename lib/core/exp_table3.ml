@@ -21,14 +21,14 @@ let big_grid () =
   let gb = Exp_common.gb in
   [ (gb 64, gb 6); (gb 64, gb 12); (gb 64, gb 24); (gb 64, gb 48) ]
 
-let run ?(quick = false) ?(kind = Gc_config.Cms) ?(bench = "h2") () =
+let run_scope ~scope ?(kind = Gc_config.Cms) ?(bench = "h2") () =
   let machine = Exp_common.machine () in
   let b =
     match Suite.find bench with
     | Some b -> b
     | None -> invalid_arg ("Exp_table3: unknown benchmark " ^ bench)
   in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   let grid = big_grid () @ Exp_common.small_size_grid () in
   let rows =
     List.map
@@ -65,6 +65,9 @@ let run ?(quick = false) ?(kind = Gc_config.Cms) ?(bench = "h2") () =
       grid
   in
   { rows; collector = Gc_config.kind_to_string kind; bench }
+
+let run ?(quick = false) ?kind ?bench () =
+  run_scope ~scope:(Scope.of_quick quick) ?kind ?bench ()
 
 let size_label bytes =
   let mb = bytes / (1024 * 1024) in

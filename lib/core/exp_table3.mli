@@ -22,8 +22,8 @@ type row = {
 
 type result = { rows : row list; collector : string; bench : string }
 
-val run :
-  ?quick:bool ->
+val run_scope :
+  scope:Scope.t ->
   ?kind:Gcperf_gc.Gc_config.kind ->
   ?bench:string ->
   unit ->
@@ -31,5 +31,13 @@ val run :
 (** Defaults: CMS on h2 (the paper's table).  Other collectors/benchmarks
     are exposed because the paper cross-checks that ParallelOld "behaved
     as expected in both situations". *)
+
+val run :
+  ?quick:bool ->
+  ?kind:Gcperf_gc.Gc_config.kind ->
+  ?bench:string ->
+  unit ->
+  result
+(** [run_scope] with {!Scope.of_quick}. *)
 
 val render : result -> string

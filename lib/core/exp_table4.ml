@@ -37,9 +37,9 @@ let kind_index kind =
   in
   find 0 Exp_common.all_kinds
 
-let run ?(quick = false) () =
+let run_scope ~scope () =
   let machine = Exp_common.machine () in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   let cells =
     List.concat_map
       (fun bench ->
@@ -73,6 +73,8 @@ let run ?(quick = false) () =
       Suite.stable_subset
   in
   { cells }
+
+let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 
 let render result =
   let gcs = List.map Exp_common.kind_name Exp_common.all_kinds in

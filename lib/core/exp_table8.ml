@@ -50,9 +50,9 @@ let classify_pause ~max_pause_s ~server =
 
 let main_kinds = [ Gc_config.ParallelOld; Gc_config.Cms; Gc_config.G1 ]
 
-let run ?(quick = false) () =
+let run_scope ~scope () =
   let machine = Exp_common.machine () in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   (* DaCapo side: stable subset, baseline configuration, system GC on (the
      paper's case (1), where the collectors differ the most). *)
   let dacapo =
@@ -101,7 +101,9 @@ let run ?(quick = false) () =
   let server_entries =
     List.map
       (fun kind ->
-        let r = Exp_server.run_server ~quick ~kind ~stress:true ~hours:2.0 () in
+        let r =
+          Exp_server.run_server_scope ~scope ~kind ~stress:true ~hours:2.0 ()
+        in
         {
           gc = r.Exp_server.gc;
           experiment = "Cassandra";
@@ -125,6 +127,8 @@ let run ?(quick = false) () =
       main_kinds
   in
   { entries = dacapo_entries @ server_entries }
+
+let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 
 let render result =
   let t =

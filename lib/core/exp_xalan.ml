@@ -34,14 +34,14 @@ let series_of_run (r : Harness.result) =
     total_s = r.Harness.total_s;
   }
 
-let run ?(quick = false) ?(bench = "xalan") () =
+let run_scope ~scope ?(bench = "xalan") () =
   let machine = Exp_common.machine () in
   let b =
     match Suite.find bench with
     | Some b -> b
     | None -> invalid_arg ("Exp_xalan: unknown benchmark " ^ bench)
   in
-  let iterations = Exp_common.scaled ~quick 10 in
+  let iterations = Scope.scaled scope 10 in
   let one system_gc =
     List.map
       (fun kind ->
@@ -52,6 +52,9 @@ let run ?(quick = false) ?(bench = "xalan") () =
       Exp_common.all_kinds
   in
   { with_system_gc = one true; without_system_gc = one false }
+
+let run ?(quick = false) ?bench () =
+  run_scope ~scope:(Scope.of_quick quick) ?bench ()
 
 let chart_series l =
   List.mapi

@@ -1,66 +1,430 @@
-let table2 ?(quick = false) () = Exp_table2.render (Exp_table2.run ~quick ())
+module A = Artifact
 
-let table3 ?(quick = false) () = Exp_table3.render (Exp_table3.run ~quick ())
+let scope_params scope = [ ("scope", Scope.to_string scope) ]
 
-let table4 ?(quick = false) () = Exp_table4.render (Exp_table4.run ~quick ())
+(* Figures 1 and 2 come from the same campaign, and Figure 5 shares its
+   runs with Tables 5-7; memoise per scope. *)
+let xalan_memo : (string * Exp_xalan.result) option ref = ref None
 
-let xalan_memo : (bool * Exp_xalan.result) option ref = ref None
-
-(* Figures 1 and 2 come from the same campaign; share the runs. *)
-let xalan ~quick =
+let xalan ~scope =
+  let key = Scope.to_string scope in
   match !xalan_memo with
-  | Some (q, r) when q = quick -> r
+  | Some (k, r) when k = key -> r
   | _ ->
-      let r = Exp_xalan.run ~quick () in
-      xalan_memo := Some (quick, r);
+      let r = Exp_xalan.run_scope ~scope () in
+      xalan_memo := Some (key, r);
       r
 
-let figure1 ?(quick = false) () = Exp_xalan.render_figure1 (xalan ~quick)
+let client_memo : (string * Exp_client.result) option ref = ref None
 
-let figure2 ?(quick = false) () = Exp_xalan.render_figure2 (xalan ~quick)
-
-let figure3 ?(quick = false) () = Exp_fig3.render (Exp_fig3.run ~quick ())
-
-let figure4 ?(quick = false) () =
-  Exp_server.render_figure4 (Exp_server.figure4 ~quick ())
-
-let client_memo : (bool * Exp_client.result) option ref = ref None
-
-let client ~quick =
+let client ~scope =
+  let key = Scope.to_string scope in
   match !client_memo with
-  | Some (q, r) when q = quick -> r
+  | Some (k, r) when k = key -> r
   | _ ->
-      let r = Exp_client.run ~quick () in
-      client_memo := Some (quick, r);
+      let r = Exp_client.run_scope ~scope () in
+      client_memo := Some (key, r);
       r
 
-let figure5 ?(quick = false) () = Exp_client.render_figure5 (client ~quick)
+(* ------------------------------------------------------------------ *)
+(* Artifact builders: one typed artifact per experiment id.           *)
 
-let tables567 ?(quick = false) () = Exp_client.render_tables567 (client ~quick)
+let table2_artifact ~scope =
+  let r = Exp_table2.run_scope ~scope () in
+  A.make ~name:"table2" ~title:"Table 2: benchmark stability"
+    ~params:(scope_params scope)
+    ~columns:[ "bench"; "final_rsd_pct"; "total_rsd_pct"; "runs" ]
+    ~rows:
+      (List.map
+         (fun (row : Exp_table2.row) ->
+           A.
+             [
+               Text row.Exp_table2.bench;
+               Float row.final_rsd_pct;
+               Float row.total_rsd_pct;
+               Int row.runs;
+             ])
+         r.Exp_table2.rows)
+    ~render_text:(fun () -> Exp_table2.render r)
 
-let table8 ?(quick = false) () = Exp_table8.render (Exp_table8.run ~quick ())
+let table3_artifact ~scope =
+  let r = Exp_table3.run_scope ~scope () in
+  A.make ~name:"table3"
+    ~title:"Table 3: pause statistics across heap/young sizes"
+    ~params:
+      (scope_params scope
+      @ [
+          ("collector", r.Exp_table3.collector); ("bench", r.Exp_table3.bench);
+        ])
+    ~columns:
+      [
+        "heap_bytes";
+        "young_bytes";
+        "pauses";
+        "full_pauses";
+        "avg_pause_s";
+        "total_pause_s";
+        "total_exec_s";
+        "oom";
+      ]
+    ~rows:
+      (List.map
+         (fun (row : Exp_table3.row) ->
+           A.
+             [
+               Int row.Exp_table3.heap_bytes;
+               Int row.young_bytes;
+               Int row.pauses;
+               Int row.full_pauses;
+               Float row.avg_pause_s;
+               Float row.total_pause_s;
+               Float row.total_exec_s;
+               Bool row.oom;
+             ])
+         r.Exp_table3.rows)
+    ~render_text:(fun () -> Exp_table3.render r)
 
-let server_parallel_old ?(quick = false) () =
-  Exp_server.render_parallel_old (Exp_server.parallel_old_analysis ~quick ())
+let table4_artifact ~scope =
+  let r = Exp_table4.run_scope ~scope () in
+  A.make ~name:"table4" ~title:"Table 4: TLAB influence"
+    ~params:(scope_params scope)
+    ~columns:[ "bench"; "gc"; "with_tlab_s"; "without_tlab_s"; "influence" ]
+    ~rows:
+      (List.map
+         (fun (c : Exp_table4.cell) ->
+           A.
+             [
+               Text c.Exp_table4.bench;
+               Text c.gc;
+               Float c.with_tlab_s;
+               Float c.without_tlab_s;
+               Text (Exp_table4.influence_to_string c.influence);
+             ])
+         r.Exp_table4.cells)
+    ~render_text:(fun () -> Exp_table4.render r)
 
-let ablation ?(quick = false) () = Exp_ablation.render (Exp_ablation.run ~quick ())
+let series_rows (r : Exp_xalan.result) =
+  List.concat_map
+    (fun (mode, l) ->
+      List.map
+        (fun (s : Exp_xalan.gc_series) ->
+          let max_pause =
+            Array.fold_left
+              (fun a (_, d) -> Float.max a d)
+              0.0 s.Exp_xalan.pause_points
+          in
+          A.
+            [
+              Text mode;
+              Text s.Exp_xalan.gc;
+              Int (Array.length s.Exp_xalan.pause_points);
+              Float max_pause;
+              Float s.Exp_xalan.total_s;
+            ])
+        l)
+    [
+      ("system-gc", r.Exp_xalan.with_system_gc);
+      ("no-system-gc", r.Exp_xalan.without_system_gc);
+    ]
 
-let runners =
+let fig1_artifact ~scope =
+  let r = xalan ~scope in
+  A.make ~name:"fig1" ~title:"Figure 1: Xalan GC pauses"
+    ~params:(scope_params scope)
+    ~columns:[ "mode"; "gc"; "pauses"; "max_pause_s"; "total_s" ]
+    ~rows:(series_rows r)
+    ~render_text:(fun () -> Exp_xalan.render_figure1 r)
+
+let fig2_artifact ~scope =
+  let r = xalan ~scope in
+  A.make ~name:"fig2" ~title:"Figure 2: Xalan iteration durations"
+    ~params:(scope_params scope)
+    ~columns:[ "mode"; "gc"; "iteration"; "duration_s" ]
+    ~rows:
+      (List.concat_map
+         (fun (mode, l) ->
+           List.concat_map
+             (fun (s : Exp_xalan.gc_series) ->
+               List.mapi
+                 (fun i d ->
+                   A.[ Text mode; Text s.Exp_xalan.gc; Int (i + 1); Float d ])
+                 (Array.to_list s.Exp_xalan.iteration_durations))
+             l)
+         [
+           ("system-gc", r.Exp_xalan.with_system_gc);
+           ("no-system-gc", r.Exp_xalan.without_system_gc);
+         ])
+    ~render_text:(fun () -> Exp_xalan.render_figure2 r)
+
+let fig3_artifact ~scope =
+  let r = Exp_fig3.run_scope ~scope () in
+  A.make ~name:"fig3" ~title:"Figure 3: GC ranking by experiments won"
+    ~params:
+      (scope_params scope
+      @ [ ("experiments", string_of_int r.Exp_fig3.experiments) ])
+    ~columns:[ "mode"; "collector"; "percent_won" ]
+    ~rows:
+      (List.concat_map
+         (fun (mode, ranking) ->
+           List.map
+             (fun (gc, pct) -> A.[ Text mode; Text gc; Float pct ])
+             ranking)
+         [
+           ("system-gc", r.Exp_fig3.with_system_gc);
+           ("no-system-gc", r.Exp_fig3.without_system_gc);
+         ])
+    ~render_text:(fun () -> Exp_fig3.render r)
+
+let server_run_row ~experiment (r : Exp_server.server_run) =
+  A.
+    [
+      Text experiment;
+      Text r.Exp_server.gc;
+      Text r.config_name;
+      Float r.duration_s;
+      Int (Array.length r.pauses);
+      Float r.max_pause_s;
+      Int r.full_count;
+      Float r.full_max_s;
+      Float r.young_max_s;
+      Bool r.oom;
+    ]
+
+let server_run_columns =
   [
-    ("table2", fun ~quick -> table2 ~quick ());
-    ("table3", fun ~quick -> table3 ~quick ());
-    ("table4", fun ~quick -> table4 ~quick ());
-    ("fig1", fun ~quick -> figure1 ~quick ());
-    ("fig2", fun ~quick -> figure2 ~quick ());
-    ("fig3", fun ~quick -> figure3 ~quick ());
-    ("fig4", fun ~quick -> figure4 ~quick ());
-    ("fig5", fun ~quick -> figure5 ~quick ());
-    ("table567", fun ~quick -> tables567 ~quick ());
-    ("table8", fun ~quick -> table8 ~quick ());
-    ("server-po", fun ~quick -> server_parallel_old ~quick ());
-    ("ablation", fun ~quick -> ablation ~quick ());
+    "experiment";
+    "gc";
+    "config";
+    "duration_s";
+    "pauses";
+    "max_pause_s";
+    "full_count";
+    "full_max_s";
+    "young_max_s";
+    "oom";
   ]
 
-let all_names = List.map fst runners
+let fig4_artifact ~scope =
+  let r = Exp_server.figure4_scope ~scope () in
+  A.make ~name:"fig4" ~title:"Figure 4: CMS and G1 server pauses"
+    ~params:(scope_params scope) ~columns:server_run_columns
+    ~rows:
+      [
+        server_run_row ~experiment:"stress" r.Exp_server.cms;
+        server_run_row ~experiment:"stress" r.Exp_server.g1;
+      ]
+    ~render_text:(fun () -> Exp_server.render_figure4 r)
 
-let by_name name = List.assoc_opt name runners
+let fig5_artifact ~scope =
+  let r = client ~scope in
+  let row (e : Exp_client.gc_experiment) =
+    let pts = e.Exp_client.points in
+    let correlated =
+      Array.fold_left
+        (fun a (p : Gcperf_ycsb.Client.point) ->
+          if p.Gcperf_ycsb.Client.gc_correlated then a + 1 else a)
+        0 pts
+    in
+    let max_ms =
+      Array.fold_left
+        (fun a (p : Gcperf_ycsb.Client.point) ->
+          Float.max a p.Gcperf_ycsb.Client.latency_ms)
+        0.0 pts
+    in
+    A.
+      [
+        Text e.Exp_client.gc;
+        Int (Array.length pts);
+        Float max_ms;
+        Int correlated;
+      ]
+  in
+  A.make ~name:"fig5" ~title:"Figure 5: client latencies under server GC"
+    ~params:(scope_params scope)
+    ~columns:[ "gc"; "points"; "max_latency_ms"; "gc_correlated_points" ]
+    ~rows:
+      [
+        row r.Exp_client.parallel_old; row r.Exp_client.cms; row r.Exp_client.g1;
+      ]
+    ~render_text:(fun () -> Exp_client.render_figure5 r)
+
+let table567_artifact ~scope =
+  let r = client ~scope in
+  let rows_of (e : Exp_client.gc_experiment) =
+    List.concat_map
+      (fun (op, (rep : Gcperf_stats.Stats.latency_report)) ->
+        List.map
+          (fun (b : Gcperf_stats.Stats.band) ->
+            A.
+              [
+                Text e.Exp_client.gc;
+                Text op;
+                Float rep.Gcperf_stats.Stats.avg_ms;
+                Float rep.min_ms;
+                Float rep.max_ms;
+                Text b.Gcperf_stats.Stats.label;
+                Float b.pct_requests;
+                Float b.pct_gc;
+              ])
+          (rep.Gcperf_stats.Stats.around_avg :: rep.above))
+      [
+        ("read", e.Exp_client.read_report);
+        ("update", e.Exp_client.update_report);
+      ]
+  in
+  A.make ~name:"table567" ~title:"Tables 5-7: client latency bands"
+    ~params:(scope_params scope)
+    ~columns:
+      [
+        "gc";
+        "op";
+        "avg_ms";
+        "min_ms";
+        "max_ms";
+        "band";
+        "pct_requests";
+        "pct_gc";
+      ]
+    ~rows:
+      (rows_of r.Exp_client.parallel_old
+      @ rows_of r.Exp_client.cms @ rows_of r.Exp_client.g1)
+    ~render_text:(fun () -> Exp_client.render_tables567 r)
+
+let table8_artifact ~scope =
+  let r = Exp_table8.run_scope ~scope () in
+  A.make ~name:"table8" ~title:"Table 8: collector summary"
+    ~params:(scope_params scope)
+    ~columns:
+      [ "gc"; "experiment"; "throughput"; "pause"; "total_rel"; "max_pause_s" ]
+    ~rows:
+      (List.map
+         (fun (e : Exp_table8.entry) ->
+           A.
+             [
+               Text e.Exp_table8.gc;
+               Text e.experiment;
+               Text (Exp_table8.verdict_to_string e.throughput);
+               Text (Exp_table8.pause_verdict_to_string e.pause);
+               Float e.total_rel;
+               Float e.max_pause_s;
+             ])
+         r.Exp_table8.entries)
+    ~render_text:(fun () -> Exp_table8.render r)
+
+let server_po_artifact ~scope =
+  let r = Exp_server.parallel_old_analysis_scope ~scope () in
+  A.make ~name:"server-po" ~title:"ParallelOld server analysis"
+    ~params:(scope_params scope) ~columns:server_run_columns
+    ~rows:
+      [
+        server_run_row ~experiment:"1h-load" r.Exp_server.one_hour;
+        server_run_row ~experiment:"2h-load" r.Exp_server.two_hours;
+        server_run_row ~experiment:"stress" r.Exp_server.stress;
+      ]
+    ~render_text:(fun () -> Exp_server.render_parallel_old r)
+
+let ablation_artifact ~scope =
+  let r = Exp_ablation.run_scope ~scope () in
+  let rows =
+    List.concat_map
+      (fun (row : Exp_ablation.g1_full_row) ->
+        [
+          A.
+            [
+              Text "g1-full";
+              Text row.Exp_ablation.mode;
+              Text "total_s";
+              Float row.total_s;
+            ];
+          A.
+            [
+              Text "g1-full";
+              Text row.Exp_ablation.mode;
+              Text "max_full_pause_s";
+              Float row.max_full_pause_s;
+            ];
+        ])
+      r.Exp_ablation.g1_full
+    @ List.map
+        (fun (row : Exp_ablation.numa_row) ->
+          A.
+            [
+              Text "numa";
+              Text (Printf.sprintf "%g" row.Exp_ablation.numa_factor);
+              Text "full_pause_s";
+              Float row.full_pause_s;
+            ])
+        r.Exp_ablation.numa
+    @ List.concat_map
+        (fun (row : Exp_ablation.tenuring_row) ->
+          let cfg = string_of_int row.Exp_ablation.threshold in
+          [
+            A.
+              [
+                Text "tenuring";
+                Text cfg;
+                Text "pauses";
+                Float (float_of_int row.pauses);
+              ];
+            A.[ Text "tenuring"; Text cfg; Text "avg_pause_s"; Float row.avg_pause_s ];
+            A.
+              [
+                Text "tenuring";
+                Text cfg;
+                Text "total_pause_s";
+                Float row.total_pause_s;
+              ];
+          ])
+        r.Exp_ablation.tenuring
+  in
+  A.make ~name:"ablation" ~title:"Ablation studies"
+    ~params:(scope_params scope)
+    ~columns:[ "section"; "config"; "metric"; "value" ]
+    ~rows
+    ~render_text:(fun () -> Exp_ablation.render r)
+
+let artifacts =
+  [
+    ("table2", table2_artifact);
+    ("table3", table3_artifact);
+    ("table4", table4_artifact);
+    ("fig1", fig1_artifact);
+    ("fig2", fig2_artifact);
+    ("fig3", fig3_artifact);
+    ("fig4", fig4_artifact);
+    ("fig5", fig5_artifact);
+    ("table567", table567_artifact);
+    ("table8", table8_artifact);
+    ("server-po", server_po_artifact);
+    ("ablation", ablation_artifact);
+  ]
+
+let all_names = List.map fst artifacts
+
+let artifact ~scope name =
+  Option.map (fun f -> f ~scope) (List.assoc_opt name artifacts)
+
+(* ------------------------------------------------------------------ *)
+(* Legacy string API: thin wrappers over the artifacts.               *)
+
+let text name ~quick =
+  match artifact ~scope:(Scope.of_quick quick) name with
+  | Some a -> A.to_text a
+  | None -> invalid_arg ("Experiments: unknown experiment " ^ name)
+
+let table2 ?(quick = false) () = text "table2" ~quick
+let table3 ?(quick = false) () = text "table3" ~quick
+let table4 ?(quick = false) () = text "table4" ~quick
+let figure1 ?(quick = false) () = text "fig1" ~quick
+let figure2 ?(quick = false) () = text "fig2" ~quick
+let figure3 ?(quick = false) () = text "fig3" ~quick
+let figure4 ?(quick = false) () = text "fig4" ~quick
+let figure5 ?(quick = false) () = text "fig5" ~quick
+let tables567 ?(quick = false) () = text "table567" ~quick
+let table8 ?(quick = false) () = text "table8" ~quick
+let server_parallel_old ?(quick = false) () = text "server-po" ~quick
+let ablation ?(quick = false) () = text "ablation" ~quick
+
+let by_name name =
+  Option.map (fun _ -> fun ~quick -> text name ~quick)
+    (List.assoc_opt name artifacts)

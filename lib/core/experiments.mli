@@ -1,8 +1,23 @@
 (** Umbrella: every table and figure of the study, by name.
 
-    Each runner executes its campaign and returns the rendered plain-text
-    artifact.  [quick] scales iteration/run counts down (used by the test
-    suite); the full configuration reproduces the paper's setup. *)
+    Each experiment produces a typed {!Artifact.t} — structured rows
+    plus the pretty plain-text renderer — under a {!Scope.t} run budget.
+    The historical string API ([table2 ?quick ()] and friends) remains
+    as thin wrappers: [?quick:true] maps to {!Scope.ci} and returns
+    [Artifact.to_text], byte-identical to what the old code produced. *)
+
+val artifacts : (string * (scope:Scope.t -> Artifact.t)) list
+(** The registry: experiment id to artifact builder.  Figures 1/2 share
+    one Xalan campaign and Figure 5 / Tables 5-7 one client campaign,
+    memoised per scope. *)
+
+val all_names : string list
+(** Experiment ids accepted by {!artifact} and {!by_name}. *)
+
+val artifact : scope:Scope.t -> string -> Artifact.t option
+(** Run one experiment and return its typed artifact. *)
+
+(** {1 Legacy string API} *)
 
 val table2 : ?quick:bool -> unit -> string
 val table3 : ?quick:bool -> unit -> string
@@ -16,8 +31,5 @@ val tables567 : ?quick:bool -> unit -> string
 val table8 : ?quick:bool -> unit -> string
 val server_parallel_old : ?quick:bool -> unit -> string
 val ablation : ?quick:bool -> unit -> string
-
-val all_names : string list
-(** Experiment ids accepted by {!by_name}. *)
 
 val by_name : string -> (quick:bool -> string) option

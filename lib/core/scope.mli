@@ -1,0 +1,57 @@
+(** Run budgets.
+
+    One record answers every "how much work" question an experiment
+    asks, replacing the [?quick:bool] flags that used to thread through
+    the campaign code.  Three budgets exist:
+
+    - {!ci}: the old [~quick:true] — replicated counts divided by 4,
+      virtual-time budgets by 10, client rates by 4, grids cut to their
+      first point.  What the test suite runs; byte-compatible with the
+      historical quick mode.
+    - {!bench}: an intermediate budget for the bechamel harness and
+      local iteration — counts halved, grids cut to three points.
+    - {!full}: the paper's configuration, untouched.
+
+    Experiments take [scope:t] ([run_scope]); the [?quick] entry points
+    remain as thin wrappers via {!of_quick}. *)
+
+type t = private {
+  label : string;
+  run_divisor : int;  (** replicated runs / iterations are divided by this *)
+  time_divisor : int;
+      (** virtual-time budgets (server hours, preload bytes) *)
+  rate_divisor : int;  (** client request rates *)
+  grid_points : int option;  (** [None] = full grid; [Some n] = first n *)
+}
+
+val ci : t
+val bench : t
+val full : t
+
+val all : t list
+(** [ci; bench; full]. *)
+
+val of_quick : bool -> t
+(** [true] is {!ci}, [false] is {!full}. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts "ci", "bench", "full". *)
+
+val scaled : t -> int -> int
+(** [scaled t n = max 1 (n / t.run_divisor)] — same arithmetic the old
+    [Exp_common.scaled ~quick] used, so ci runs reproduce quick runs
+    exactly. *)
+
+val grid : t -> 'a list -> 'a list
+(** First [grid_points] elements (all of them under {!full}). *)
+
+val hours : t -> float -> float
+(** Scale a virtual-time budget. *)
+
+val bytes : t -> int -> int
+(** Scale a byte budget (integer division, as the quick paths did). *)
+
+val rate : t -> float -> float
+(** Scale a request rate. *)

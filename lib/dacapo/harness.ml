@@ -34,12 +34,12 @@ let base_result (bench : Suite.bench) (gc : Gc_config.t) ~system_gc =
     events = [];
   }
 
-let run ?(seed = 42) ?(iterations = 10) machine (bench : Suite.bench) ~gc
-    ~system_gc () =
+let run ?telemetry ?(seed = 42) ?(iterations = 10) machine
+    (bench : Suite.bench) ~gc ~system_gc () =
   let base = base_result bench gc ~system_gc in
   if bench.Suite.crashes then { base with crashed = true }
   else begin
-    let vm = Vm.create machine gc ~seed in
+    let vm = Vm.create ?telemetry machine gc ~seed in
     match Mutator.create vm bench.Suite.profile ~seed:(seed * 7919 + 13) with
     | exception Gcperf_gc.Gc_ctx.Out_of_memory _ -> { base with oom = true }
     | mutator -> (

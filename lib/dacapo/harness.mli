@@ -22,6 +22,7 @@ type result = {
 }
 
 val run :
+  ?telemetry:Gcperf_telemetry.Telemetry.t ->
   ?seed:int ->
   ?iterations:int ->
   Gcperf_machine.Machine.t ->
@@ -30,7 +31,9 @@ val run :
   system_gc:bool ->
   unit ->
   result
-(** Defaults: seed 42, 10 iterations (the study's configuration). *)
+(** Defaults: seed 42, 10 iterations (the study's configuration).
+    [telemetry] is threaded to {!Gcperf_runtime.Vm.create}; observation
+    only — passing a registry never changes the simulated run. *)
 
 val best_of : result list -> result option
 (** The run with the smallest total execution time, ignoring crashed and

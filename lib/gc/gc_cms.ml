@@ -3,6 +3,7 @@ module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
 module Gh = Gcperf_heap.Gen_heap
+module Span = Gcperf_telemetry.Span
 
 type phase =
   | Idle
@@ -85,17 +86,23 @@ let create ctx (config : Gc_config.t) =
   in
   let initial_mark () =
     st.cycles_started <- st.cycles_started + 1;
-    let duration =
-      Gc_ctx.stw_begin_us ctx
-      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-      +. cost.Machine.gc_fixed_us
-      +. Machine.phase_us m ~rate:cost.Machine.card_scan_rate
-           ~workers:m.Machine.gc_threads ~bytes:(Gh.young_used heap)
+    let phases =
+      [
+        (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+        ( Span.Root_scan,
+          Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+        (Span.Fixed, cost.Machine.gc_fixed_us);
+        ( Span.Card_scan,
+          Machine.phase_us m ~rate:cost.Machine.card_scan_rate
+            ~workers:m.Machine.gc_threads ~bytes:(Gh.young_used heap) );
+      ]
     in
+    let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
     let young = Gh.young_used heap and old = heap.Gh.old_used in
     Gc_ctx.record_pause ctx ~collector:name ~kind:Gc_event.Initial_mark
-      ~reason:"occupancy threshold" ~duration_us:duration ~young_before:young
-      ~young_after:young ~old_before:old ~old_after:old ~promoted:0;
+      ~reason:"occupancy threshold" ~phases ~duration_us:duration
+      ~young_before:young ~young_after:young ~old_before:old ~old_after:old
+      ~promoted:0;
     st.phase <- Marking { remaining_bytes = float_of_int heap.Gh.old_used }
   in
   let victims_scratch = Vec.create () in
@@ -117,23 +124,30 @@ let create ctx (config : Gc_config.t) =
         end)
       heap.Gh.old_ids;
     let card_bytes = Gh.dirty_live_bytes heap in
-    let duration =
-      Gc_ctx.stw_begin_us ctx
-      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-      +. cost.Machine.gc_fixed_us
-      +. Machine.phase_us m ~rate:cost.Machine.card_scan_rate
-           ~workers:m.Machine.gc_threads
-           ~bytes:(card_bytes + Gh.young_used heap)
-      (* Residual marking of objects dirtied during the concurrent phase:
-         a slice of the old generation must be retraced at the safepoint. *)
-      +. Machine.phase_us m ~rate:cost.Machine.mark_rate
-           ~workers:m.Machine.gc_threads
-           ~bytes:(heap.Gh.old_used / 12)
+    let phases =
+      [
+        (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+        ( Span.Root_scan,
+          Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+        (Span.Fixed, cost.Machine.gc_fixed_us);
+        ( Span.Card_scan,
+          Machine.phase_us m ~rate:cost.Machine.card_scan_rate
+            ~workers:m.Machine.gc_threads
+            ~bytes:(card_bytes + Gh.young_used heap) );
+        (* Residual marking of objects dirtied during the concurrent phase:
+           a slice of the old generation must be retraced at the safepoint. *)
+        ( Span.Mark,
+          Machine.phase_us m ~rate:cost.Machine.mark_rate
+            ~workers:m.Machine.gc_threads
+            ~bytes:(heap.Gh.old_used / 12) );
+      ]
     in
+    let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
     let young = Gh.young_used heap and old = heap.Gh.old_used in
     Gc_ctx.record_pause ctx ~collector:name ~kind:Gc_event.Remark
-      ~reason:"concurrent cycle" ~duration_us:duration ~young_before:young
-      ~young_after:young ~old_before:old ~old_after:old ~promoted:0;
+      ~reason:"concurrent cycle" ~phases ~duration_us:duration
+      ~young_before:young ~young_after:young ~old_before:old ~old_after:old
+      ~promoted:0;
     st.phase <-
       Sweeping
         {

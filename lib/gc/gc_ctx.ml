@@ -1,22 +1,36 @@
+module Telemetry = Gcperf_telemetry.Telemetry
+module Span = Gcperf_telemetry.Span
+
 exception Out_of_memory of string
 
 type t = {
   machine : Gcperf_machine.Machine.t;
   clock : Gcperf_sim.Clock.t;
   events : Gcperf_sim.Gc_event.t;
+  telemetry : Telemetry.t;
   mutable mutator_threads : int;
   mutable iter_roots : (int -> unit) -> unit;
 }
 
-let create machine clock events =
-  { machine; clock; events; mutator_threads = 1; iter_roots = (fun _ -> ()) }
+let create ?telemetry machine clock events =
+  let telemetry =
+    match telemetry with Some t -> t | None -> Telemetry.create ()
+  in
+  {
+    machine;
+    clock;
+    events;
+    telemetry;
+    mutator_threads = 1;
+    iter_roots = (fun _ -> ());
+  }
 
 let stw_begin_us t =
   Gcperf_machine.Machine.time_to_safepoint t.machine
     ~mutator_threads:t.mutator_threads
 
-let record_pause t ~collector ~kind ~reason ~duration_us ~young_before
-    ~young_after ~old_before ~old_after ~promoted =
+let record_pause t ~collector ~kind ~reason ~phases ~duration_us
+    ~young_before ~young_after ~old_before ~old_after ~promoted =
   let start_us = Gcperf_sim.Clock.now_us t.clock in
   Gcperf_sim.Clock.advance_us t.clock duration_us;
   Gcperf_sim.Gc_event.record t.events
@@ -31,4 +45,24 @@ let record_pause t ~collector ~kind ~reason ~duration_us ~young_before
       old_before;
       old_after;
       promoted;
-    }
+    };
+  if Telemetry.enabled t.telemetry then begin
+    Telemetry.record_span t.telemetry
+      {
+        Span.collector;
+        kind = Gcperf_sim.Gc_event.pause_kind_to_string kind;
+        cause = reason;
+        start_us;
+        duration_us;
+        phases;
+        young_before;
+        young_after;
+        old_before;
+        old_after;
+        promoted;
+      };
+    Telemetry.incr t.telemetry "gc.pauses" 1.0;
+    Telemetry.incr t.telemetry "gc.pause_us_total" duration_us;
+    Telemetry.incr t.telemetry "gc.promoted_bytes_total"
+      (float_of_int promoted)
+  end

@@ -1,10 +1,10 @@
 (** Shared collector context.
 
     Everything a collector needs from its environment: the machine cost
-    model, the virtual clock to charge pauses to, the event log, and a view
-    of the mutator (thread count for safepoint costs, root-set iteration
-    for tracing).  The runtime builds one of these and hands it to the
-    collector constructor. *)
+    model, the virtual clock to charge pauses to, the event log, the
+    telemetry registry, and a view of the mutator (thread count for
+    safepoint costs, root-set iteration for tracing).  The runtime
+    builds one of these and hands it to the collector constructor. *)
 
 exception Out_of_memory of string
 (** Raised when a full collection cannot make enough room. *)
@@ -13,6 +13,9 @@ type t = {
   machine : Gcperf_machine.Machine.t;
   clock : Gcperf_sim.Clock.t;
   events : Gcperf_sim.Gc_event.t;
+  telemetry : Gcperf_telemetry.Telemetry.t;
+      (** span/histogram/metrics sink; observation only — recording
+          never perturbs the clock, the PRNGs or the heap model *)
   mutable mutator_threads : int;
   mutable iter_roots : (int -> unit) -> unit;
       (** iterate over all root object ids (thread stacks + globals);
@@ -20,8 +23,14 @@ type t = {
 }
 
 val create :
-  Gcperf_machine.Machine.t -> Gcperf_sim.Clock.t -> Gcperf_sim.Gc_event.t -> t
-(** Fresh context with no threads and an empty root iterator. *)
+  ?telemetry:Gcperf_telemetry.Telemetry.t ->
+  Gcperf_machine.Machine.t ->
+  Gcperf_sim.Clock.t ->
+  Gcperf_sim.Gc_event.t ->
+  t
+(** Fresh context with no threads and an empty root iterator.
+    [telemetry] defaults to a fresh registry honouring
+    {!Gcperf_telemetry.Telemetry.default_enabled}. *)
 
 val stw_begin_us : t -> float
 (** Cost of bringing all mutator threads to the safepoint. *)
@@ -31,6 +40,7 @@ val record_pause :
   collector:string ->
   kind:Gcperf_sim.Gc_event.pause_kind ->
   reason:string ->
+  phases:(Gcperf_telemetry.Span.phase * float) list ->
   duration_us:float ->
   young_before:int ->
   young_after:int ->
@@ -38,4 +48,7 @@ val record_pause :
   old_after:int ->
   promoted:int ->
   unit
-(** Advances the clock across the pause and appends the event. *)
+(** Advances the clock across the pause, appends the event and — when
+    telemetry is enabled — records the equivalent {!Gcperf_telemetry.Span.t}
+    with the per-phase breakdown.  [phases] is the per-phase breakdown
+    summing to [duration_us]; pass [[]] when the caller has none. *)

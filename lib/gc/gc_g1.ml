@@ -3,6 +3,7 @@ module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
 module Rh = Gcperf_heap.Region_heap
+module Span = Gcperf_telemetry.Span
 
 type phase = Idle | Marking of { mutable remaining_bytes : float }
 
@@ -175,10 +176,11 @@ let create ctx (config : Gc_config.t) =
     done;
     (marked, !remset_bytes)
   in
-  let record ~kind ~reason ~duration ~young_before ~old_before ~promoted =
-    Gc_ctx.record_pause ctx ~collector:name ~kind ~reason ~duration_us:duration
-      ~young_before ~young_after:(young_used ()) ~old_before
-      ~old_after:(old_hum_used ()) ~promoted
+  let record ~kind ~reason ~phases ~duration ~young_before ~old_before
+      ~promoted =
+    Gc_ctx.record_pause ctx ~collector:name ~kind ~reason ~phases
+      ~duration_us:duration ~young_before ~young_after:(young_used ())
+      ~old_before ~old_after:(old_hum_used ()) ~promoted
   in
   let maybe_start_marking () =
     match st.phase with
@@ -191,15 +193,21 @@ let create ctx (config : Gc_config.t) =
         then begin
           st.marking_allowed <- false;
           st.marking_cycles <- st.marking_cycles + 1;
+          let phases =
+            [
+              (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+              ( Span.Root_scan,
+                Machine.root_scan_us m
+                  ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+              (Span.Fixed, cost.Machine.gc_fixed_us);
+            ]
+          in
           let duration =
-            Gc_ctx.stw_begin_us ctx
-            +. Machine.root_scan_us m
-                 ~mutator_threads:ctx.Gc_ctx.mutator_threads
-            +. cost.Machine.gc_fixed_us
+            List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases
           in
           let y = young_used () and o = old_hum_used () in
-          record ~kind:Gc_event.Initial_mark ~reason:"IHOP crossed" ~duration
-            ~young_before:y ~old_before:o ~promoted:0;
+          record ~kind:Gc_event.Initial_mark ~reason:"IHOP crossed" ~phases
+            ~duration ~young_before:y ~old_before:o ~promoted:0;
           st.phase <-
             Marking { remaining_bytes = float_of_int (old_hum_used ()) }
         end
@@ -299,25 +307,32 @@ let create ctx (config : Gc_config.t) =
     st.eden_bytes <- 0;
     st.mixed_candidates <- [];
     st.phase <- Idle;
-    let duration =
-      Gc_ctx.stw_begin_us ctx
-      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-      +. cost.Machine.gc_fixed_us
-      +. Machine.phase_us m ~rate:cost.Machine.mark_rate ~workers:full_workers
-           ~bytes:live
-      +. Machine.phase_us m ~rate:cost.Machine.sweep_rate ~workers:full_workers
-           ~bytes:!freed
-      (* Region bookkeeping makes G1's serial compaction slower per byte
-         than the generational collectors' sliding compaction. *)
-      (* Sliding compaction touches the occupied old/humongous space,
-         dead data included; evacuated young costs are in [moved]. *)
-      +. (1.3
-         *. Machine.phase_us m ~rate:cost.Machine.compact_rate
-              ~workers:full_workers
-              ~bytes:(max old_before !moved_bytes))
+    let phases =
+      [
+        (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+        ( Span.Root_scan,
+          Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+        (Span.Fixed, cost.Machine.gc_fixed_us);
+        ( Span.Mark,
+          Machine.phase_us m ~rate:cost.Machine.mark_rate ~workers:full_workers
+            ~bytes:live );
+        ( Span.Sweep,
+          Machine.phase_us m ~rate:cost.Machine.sweep_rate
+            ~workers:full_workers ~bytes:!freed );
+        (* Region bookkeeping makes G1's serial compaction slower per byte
+           than the generational collectors' sliding compaction. *)
+        (* Sliding compaction touches the occupied old/humongous space,
+           dead data included; evacuated young costs are in [moved]. *)
+        ( Span.Compact,
+          1.3
+          *. Machine.phase_us m ~rate:cost.Machine.compact_rate
+               ~workers:full_workers
+               ~bytes:(max old_before !moved_bytes) );
+      ]
     in
-    record ~kind:Gc_event.Full ~reason ~duration ~young_before ~old_before
-      ~promoted:0
+    let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
+    record ~kind:Gc_event.Full ~reason ~phases ~duration ~young_before
+      ~old_before ~promoted:0
   in
   let remark_and_cleanup () =
     ignore (trace_all ());
@@ -337,16 +352,24 @@ let create ctx (config : Gc_config.t) =
         | Rh.Eden | Rh.Survivor | Rh.Free -> ())
       rheap.Rh.regions;
     let y = young_used () and o = old_hum_used () in
+    let remark_phases =
+      [
+        (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+        ( Span.Root_scan,
+          Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+        (Span.Fixed, cost.Machine.gc_fixed_us);
+        ( Span.Mark,
+          Machine.phase_us m ~rate:cost.Machine.mark_rate
+            ~workers:m.Machine.gc_threads
+            ~bytes:(old_hum_used () / 12) );
+      ]
+    in
     let remark_duration =
-      Gc_ctx.stw_begin_us ctx
-      +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-      +. cost.Machine.gc_fixed_us
-      +. Machine.phase_us m ~rate:cost.Machine.mark_rate
-           ~workers:m.Machine.gc_threads
-           ~bytes:(old_hum_used () / 12)
+      List.fold_left (fun acc (_, us) -> acc +. us) 0.0 remark_phases
     in
     record ~kind:Gc_event.Remark ~reason:"concurrent cycle"
-      ~duration:remark_duration ~young_before:y ~old_before:o ~promoted:0;
+      ~phases:remark_phases ~duration:remark_duration ~young_before:y
+      ~old_before:o ~promoted:0;
     (* Cleanup: instantly reclaim fully dead regions, pick mixed
        candidates garbage-first. *)
     let released = ref 0 in
@@ -384,12 +407,20 @@ let create ctx (config : Gc_config.t) =
        candidates over ~8 mixed collections, old regions per mixed capped). *)
     st.mixed_candidates <- candidates;
     let y = young_used () and o = old_hum_used () in
+    let cleanup_phases =
+      [
+        (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+        (Span.Fixed, cost.Machine.gc_fixed_us);
+        ( Span.Region_overhead,
+          region_fixed_us *. float_of_int (max 1 !released) );
+      ]
+    in
     let cleanup_duration =
-      Gc_ctx.stw_begin_us ctx +. cost.Machine.gc_fixed_us
-      +. (region_fixed_us *. float_of_int (max 1 !released))
+      List.fold_left (fun acc (_, us) -> acc +. us) 0.0 cleanup_phases
     in
     record ~kind:Gc_event.Cleanup ~reason:"concurrent cycle"
-      ~duration:cleanup_duration ~young_before:y ~old_before:o ~promoted:0;
+      ~phases:cleanup_phases ~duration:cleanup_duration ~young_before:y
+      ~old_before:o ~promoted:0;
     st.phase <- Idle
   in
   let rec young_gc reason =
@@ -548,18 +579,25 @@ let create ctx (config : Gc_config.t) =
       end
       else st.young_collections <- st.young_collections + 1;
       let workers = m.Machine.gc_threads in
-      let duration =
-        Gc_ctx.stw_begin_us ctx
-        +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-        +. cost.Machine.gc_fixed_us
-        +. (region_fixed_us
-           *. float_of_int (Vec.length cset)
-           /. Machine.parallel_speedup m workers)
-        +. Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
-             ~bytes:remset_bytes
-        +. Machine.phase_us m ~rate:cost.Machine.copy_rate ~workers
-             ~bytes:!surv_bytes
-        +. (let promote_rate =
+      let phases =
+        [
+          (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+          ( Span.Root_scan,
+            Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+          );
+          (Span.Fixed, cost.Machine.gc_fixed_us);
+          ( Span.Region_overhead,
+            region_fixed_us
+            *. float_of_int (Vec.length cset)
+            /. Machine.parallel_speedup m workers );
+          ( Span.Card_scan,
+            Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
+              ~bytes:remset_bytes );
+          ( Span.Copy,
+            Machine.phase_us m ~rate:cost.Machine.copy_rate ~workers
+              ~bytes:!surv_bytes );
+          ( Span.Promote,
+            let promote_rate =
               (* As in the generational collectors: promotion into a large
                  old space is slower per byte. *)
               cost.Machine.promote_rate
@@ -567,12 +605,18 @@ let create ctx (config : Gc_config.t) =
                    (1.0
                    +. (float_of_int old_before /. cost.Machine.locality_bytes))
             in
-            Machine.phase_us m ~rate:promote_rate ~workers ~bytes:!prom_bytes)
+            Machine.phase_us m ~rate:promote_rate ~workers ~bytes:!prom_bytes
+          );
+        ]
+      in
+      let duration =
+        List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases
       in
       st.marking_allowed <- true;
       record
         ~kind:(if mixed then Gc_event.Mixed else Gc_event.Young)
-        ~reason ~duration ~young_before ~old_before ~promoted:!prom_bytes;
+        ~reason ~phases ~duration ~young_before ~old_before
+        ~promoted:!prom_bytes;
       maybe_start_marking ()
     end
   and alloc ~size =

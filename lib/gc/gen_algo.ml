@@ -3,6 +3,7 @@ module Machine = Gcperf_machine.Machine
 module Gc_event = Gcperf_sim.Gc_event
 module Os = Gcperf_heap.Obj_store
 module Gh = Gcperf_heap.Gen_heap
+module Span = Gcperf_telemetry.Span
 
 type young_params = {
   workers : int;
@@ -143,17 +144,23 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
      only if they still reference young data; freshly promoted objects may
      now be old-with-young-refs.  Nothing else can have changed. *)
   Gh.refresh_cards heap ~extra:promote;
-  (* Charge the pause. *)
+  (* Charge the pause: named phases, folded in the same order the flat
+     sum used to add them, so the total stays bit-identical. *)
   let m = ctx.Gc_ctx.machine in
-  let duration =
-    Gc_ctx.stw_begin_us ctx
-    +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-    +. m.Machine.cost.Machine.gc_fixed_us
-    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.card_scan_rate
-         ~workers:params.workers ~bytes:card_bytes
-    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.copy_rate
-         ~workers:params.workers ~bytes:!to_survivor
-    +. (let promote_rate =
+  let phases =
+    [
+      (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+      ( Span.Root_scan,
+        Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+      (Span.Fixed, m.Machine.cost.Machine.gc_fixed_us);
+      ( Span.Card_scan,
+        Machine.phase_us m ~rate:m.Machine.cost.Machine.card_scan_rate
+          ~workers:params.workers ~bytes:card_bytes );
+      ( Span.Copy,
+        Machine.phase_us m ~rate:m.Machine.cost.Machine.copy_rate
+          ~workers:params.workers ~bytes:!to_survivor );
+      ( Span.Promote,
+        let promote_rate =
           (* Promotion degrades as the old generation grows: allocation
              lands in cold, NUMA-remote memory and every promoted object
              updates card metadata spread over the whole old space. *)
@@ -164,9 +171,11 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
                   /. m.Machine.cost.Machine.locality_bytes))
         in
         Machine.phase_us m ~rate:promote_rate ~workers:params.workers
-          ~bytes:!to_promote)
+          ~bytes:!to_promote );
+    ]
   in
-  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Young ~reason
+  let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
+  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Young ~reason ~phases
     ~duration_us:duration ~young_before ~young_after:(Gh.young_used heap)
     ~old_before ~old_after:heap.Gh.old_used ~promoted:!to_promote;
   {
@@ -278,21 +287,28 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
      incremental young-collection refresh avoids). *)
   Gh.rebuild_cards heap;
   let m = ctx.Gc_ctx.machine in
-  let duration =
-    Gc_ctx.stw_begin_us ctx
-    +. Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-    +. m.Machine.cost.Machine.gc_fixed_us
-    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.mark_rate ~workers
-         ~bytes:live
-    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.sweep_rate ~workers
-         ~bytes:!freed
-    (* Sliding compaction touches the whole occupied old space, dead
-       data included: this is why a full collection of a nearly full
-       64 GB heap takes minutes even with live data far smaller. *)
-    +. Machine.phase_us m ~rate:m.Machine.cost.Machine.compact_rate ~workers
-         ~bytes:(max old_before (!live_old + !promoted))
+  let phases =
+    [
+      (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
+      ( Span.Root_scan,
+        Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads );
+      (Span.Fixed, m.Machine.cost.Machine.gc_fixed_us);
+      ( Span.Mark,
+        Machine.phase_us m ~rate:m.Machine.cost.Machine.mark_rate ~workers
+          ~bytes:live );
+      ( Span.Sweep,
+        Machine.phase_us m ~rate:m.Machine.cost.Machine.sweep_rate ~workers
+          ~bytes:!freed );
+      (* Sliding compaction touches the whole occupied old space, dead
+         data included: this is why a full collection of a nearly full
+         64 GB heap takes minutes even with live data far smaller. *)
+      ( Span.Compact,
+        Machine.phase_us m ~rate:m.Machine.cost.Machine.compact_rate ~workers
+          ~bytes:(max old_before (!live_old + !promoted)) );
+    ]
   in
-  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Full ~reason
+  let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
+  Gc_ctx.record_pause ctx ~collector ~kind:Gc_event.Full ~reason ~phases
     ~duration_us:duration ~young_before ~young_after:(Gh.young_used heap)
     ~old_before ~old_after:heap.Gh.old_used ~promoted:!promoted;
   { live_bytes = live; full_freed_bytes = !freed; duration_us = duration }

@@ -9,6 +9,8 @@ module Gc_ctx = Gcperf_gc.Gc_ctx
 module Gc_config = Gcperf_gc.Gc_config
 module Collector = Gcperf_gc.Collector
 module Registry = Gcperf_gc.Registry
+module Telemetry = Gcperf_telemetry.Telemetry
+module Metrics = Gcperf_telemetry.Metrics
 
 type thread = {
   tid : int;
@@ -37,10 +39,10 @@ type t = {
 
 type lifetime = [ `Bytes of int | `Permanent ]
 
-let create machine config ~seed =
+let create ?telemetry machine config ~seed =
   let clock = Clock.create () in
   let events = Gc_event.create () in
-  let ctx = Gc_ctx.create machine clock events in
+  let ctx = Gc_ctx.create ?telemetry machine clock events in
   let collector = Registry.create ctx config in
   let t =
     {
@@ -71,6 +73,7 @@ let clock t = t.clock
 let events t = t.events
 let collector t = t.collector
 let config t = t.config
+let telemetry t = t.ctx.Gc_ctx.telemetry
 let now_s t = Clock.now_s t.clock
 let allocated_bytes t = t.allocated
 
@@ -193,7 +196,30 @@ let step t ~dt_us f =
   let factor = t.collector.Collector.mutator_factor () in
   Clock.advance_us t.clock ((dt_us *. factor) +. alloc_overhead);
   process_deaths t;
-  t.collector.Collector.tick ~dt_us
+  t.collector.Collector.tick ~dt_us;
+  (* Per-quantum gauges: pure observation after all state transitions of
+     the quantum, so sampling cannot perturb the run. *)
+  let tel = t.ctx.Gc_ctx.telemetry in
+  if Telemetry.enabled tel then begin
+    let t_us = Clock.now_us t.clock in
+    let q_bytes =
+      Vec.fold
+        (fun acc th -> if th.live then acc + th.quantum_bytes else acc)
+        0 t.threads
+    in
+    Telemetry.incr tel "vm.allocated_bytes" (float_of_int q_bytes);
+    Telemetry.sample tel "heap.used_bytes" ~t_us
+      (float_of_int (t.collector.Collector.heap_used ()));
+    Telemetry.sample tel "heap.young_bytes" ~t_us
+      (float_of_int (t.collector.Collector.young_used ()));
+    Telemetry.sample tel "heap.old_bytes" ~t_us
+      (float_of_int (t.collector.Collector.old_used ()));
+    if dt_us > 0.0 then
+      Telemetry.sample tel "alloc.rate_bytes_per_s" ~t_us
+        (float_of_int q_bytes /. (dt_us *. 1e-6));
+    Telemetry.sample tel "gc.promoted_bytes" ~t_us
+      (Metrics.counter (Telemetry.metrics tel) "gc.promoted_bytes_total")
+  end
 
 let system_gc t = t.collector.Collector.system_gc ()
 

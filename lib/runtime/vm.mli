@@ -31,13 +31,24 @@ type lifetime =
   | `Permanent  (** rooted until explicitly dropped *) ]
 
 val create :
-  Gcperf_machine.Machine.t -> Gcperf_gc.Gc_config.t -> seed:int -> t
+  ?telemetry:Gcperf_telemetry.Telemetry.t ->
+  Gcperf_machine.Machine.t ->
+  Gcperf_gc.Gc_config.t ->
+  seed:int ->
+  t
+(** [telemetry] defaults to a fresh registry honouring
+    {!Gcperf_telemetry.Telemetry.default_enabled}. *)
 
 val machine : t -> Gcperf_machine.Machine.t
 val clock : t -> Gcperf_sim.Clock.t
 val events : t -> Gcperf_sim.Gc_event.t
 val collector : t -> Gcperf_gc.Collector.t
 val config : t -> Gcperf_gc.Gc_config.t
+
+val telemetry : t -> Gcperf_telemetry.Telemetry.t
+(** The registry pauses and per-quantum gauges are recorded into.  When
+    enabled, every {!step} samples heap/young/old occupancy, the
+    allocation rate and cumulative promoted bytes. *)
 
 val now_s : t -> float
 val allocated_bytes : t -> int

@@ -1,0 +1,53 @@
+module Vec = Gcperf_util.Vec
+
+type t = {
+  counters : (string, float ref) Hashtbl.t;
+  mutable counter_order : string list;  (* reverse registration order *)
+  gauges : (string, (float * float) Vec.t) Hashtbl.t;
+  mutable gauge_order : string list;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    counter_order = [];
+    gauges = Hashtbl.create 16;
+    gauge_order = [];
+  }
+
+let clear t =
+  Hashtbl.reset t.counters;
+  t.counter_order <- [];
+  Hashtbl.reset t.gauges;
+  t.gauge_order <- []
+
+let incr t name by =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r +. by
+  | None ->
+      Hashtbl.add t.counters name (ref by);
+      t.counter_order <- name :: t.counter_order
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0.0
+
+let counter_names t = List.rev t.counter_order
+
+let sample t name ~t_us v =
+  let series =
+    match Hashtbl.find_opt t.gauges name with
+    | Some s -> s
+    | None ->
+        let s = Vec.create () in
+        Hashtbl.add t.gauges name s;
+        t.gauge_order <- name :: t.gauge_order;
+        s
+  in
+  Vec.push series (t_us, v)
+
+let series t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some s -> Vec.to_array s
+  | None -> [||]
+
+let series_names t = List.rev t.gauge_order

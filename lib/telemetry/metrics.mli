@@ -1,0 +1,31 @@
+(** Counters and sampled gauges.
+
+    A tiny metrics registry: monotonic float counters ([incr]) and gauge
+    time series ([sample], one [(t_us, value)] point per observation —
+    the runtime samples heap occupancy and allocation/promotion rates
+    once per mutator quantum).  Names are registered on first use and
+    iterated in registration order, so exports are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> float -> unit
+(** Add to a counter (created at 0 on first use). *)
+
+val counter : t -> string -> float
+(** Current counter value; 0 for an unknown name. *)
+
+val counter_names : t -> string list
+(** In registration order. *)
+
+val sample : t -> string -> t_us:float -> float -> unit
+(** Append one point to a gauge series (created on first use). *)
+
+val series : t -> string -> (float * float) array
+(** All samples of a gauge, in recording order; [|]] for unknown names. *)
+
+val series_names : t -> string list
+(** In registration order. *)
+
+val clear : t -> unit

@@ -1,0 +1,64 @@
+(** The in-memory telemetry registry.
+
+    One [Telemetry.t] rides along with each simulated VM: collectors
+    record a {!Span.t} per pause (routed through
+    [Gcperf_gc.Gc_ctx.record_pause]), the runtime samples gauges once
+    per quantum, and consumers — experiments, the CLI [trace]
+    subcommand, the kvstore/YCSB analysis — read spans, per-pause-kind
+    duration histograms, the time-to-safepoint histogram and the metric
+    series back out.
+
+    {b Non-perturbation invariant}: telemetry only observes.  Recording
+    never advances the virtual clock, draws from a PRNG or touches the
+    heap model, so a run with telemetry enabled is byte-identical (in
+    simulated time, GC events and artifacts) to the same run with it
+    disabled.  A disabled registry turns every record into a cheap
+    no-op, which is what keeps the young-GC hot path within the <5%
+    overhead budget.
+
+    [default_enabled] is the process-wide default used when a VM is
+    created without an explicit registry — the CLI [trace] subcommand
+    flips it on; experiments leave it off. *)
+
+type t
+
+val set_default_enabled : bool -> unit
+
+val default_enabled : unit -> bool
+(** Initially [false]. *)
+
+val create : ?enabled:bool -> unit -> t
+(** [enabled] defaults to {!default_enabled}. *)
+
+val disabled : unit -> t
+(** A registry that records nothing (shared constant). *)
+
+val enabled : t -> bool
+
+val record_span : t -> Span.t -> unit
+(** Appends the span, folds its duration into the per-kind histogram and
+    its safepoint phase into the TTSP histogram.  No-op when disabled. *)
+
+val incr : t -> string -> float -> unit
+(** Counter bump (no-op when disabled). *)
+
+val sample : t -> string -> t_us:float -> float -> unit
+(** Gauge sample (no-op when disabled). *)
+
+val spans : t -> Span.t list
+(** Chronological. *)
+
+val span_count : t -> int
+
+val kinds : t -> string list
+(** Pause kinds seen so far, in first-seen order. *)
+
+val pause_histogram : t -> string -> Histogram.t option
+(** Duration histogram (µs) for one pause kind. *)
+
+val safepoint_histogram : t -> Histogram.t
+(** Time-to-safepoint across all pauses, µs. *)
+
+val metrics : t -> Metrics.t
+
+val clear : t -> unit
