@@ -12,7 +12,7 @@
 
    Options:
 
-   - [--only micro,paper,server] restricts the groups that run;
+   - [--only micro,exec,paper,server] restricts the groups that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
      list of [{"name": ..., "ns_per_run": ...}] records (the perf
@@ -194,6 +194,53 @@ let micro_tests =
        Staged.stage (fun () -> ignore (Gcperf_stats.Stats.latency_report pts)));
   ]
 
+(* --- exec: the worker pool ------------------------------------------- *)
+
+module Pool = Gcperf_exec.Pool
+
+(* One pool cell: a self-contained simulated run — fresh VM, ~52 MB of
+   young garbage per round, 40 rounds.  Heavy enough that fan-out pays on
+   multicore hardware, small enough to keep the bench in milliseconds. *)
+let pool_cell _i =
+  let vm =
+    Vm.create machine
+      (Gc_config.default Gc_config.ParallelOld ~heap_bytes:(256 * mb)
+         ~young_bytes:(64 * mb))
+      ~seed:7
+  in
+  let th = Vm.spawn_thread vm in
+  for _ = 1 to 40 do
+    for _ = 1 to 100 do
+      let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+      Vm.drop_root vm th id
+    done
+  done;
+  Vm.now_s vm
+
+let pool_cells = Array.init 16 (fun i -> i)
+
+let exec_tests =
+  let map_cells ~jobs =
+    Test.make
+      ~name:(Printf.sprintf "pool-cells-jobs%d" jobs)
+      (Staged.stage (fun () ->
+           ignore (Pool.map_cells ~jobs pool_cell pool_cells)))
+  in
+  [
+    (* jobs=1 is the sequential baseline; the jobs=2/4 entries measure
+       the same 16 cells through the pool, so the ratio to jobs=1 is the
+       pool's speedup (~1x on a single-core host, where the domains
+       time-share one CPU). *)
+    map_cells ~jobs:1;
+    map_cells ~jobs:2;
+    map_cells ~jobs:4;
+    Test.make ~name:"pool-overhead-jobs4"
+      (* Spawn/join cost alone: 16 trivial cells through 4 domains. *)
+      (let cells = Array.init 16 (fun i -> i) in
+       Staged.stage (fun () ->
+           ignore (Pool.map_cells ~jobs:4 (fun i -> i * i) cells)));
+  ]
+
 (* --- driver ------------------------------------------------------------ *)
 
 let benchmark tests ~quota_s ~limit =
@@ -255,7 +302,7 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only micro,paper,server] [--quota SECONDS] \
+    "usage: main.exe [--only micro,exec,paper,server] [--quota SECONDS] \
      [--limit RUNS] [--json PATH]";
   exit 2
 
@@ -306,6 +353,8 @@ let () =
   in
   run_group "micro" "micro (simulator primitives)" micro_tests ~quota_s:0.5
     ~lim:500;
+  run_group "exec" "exec (worker pool fan-out)" exec_tests ~quota_s:0.5
+    ~lim:50;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
     ~lim:2;
   run_group "server" "client-server campaigns (scaled)" server_tests

@@ -42,6 +42,14 @@ let out_arg =
   let doc = "Write the rendered artifact to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment's cell fan-out (default: the \
+     machine's recommended domain count).  Results are byte-identical \
+     for every value; $(b,--jobs 1) runs sequentially."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let emit out text =
   match out with
   | None -> print_string text
@@ -86,17 +94,19 @@ let run_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Experiment id (see $(b,gcperf list)).")
   in
-  let run id quick scope format out =
+  let run id quick scope format jobs out =
     let scope = resolve_scope quick scope in
     let format = parse_format format in
-    match Gcperf.Experiments.artifact ~scope id with
+    match Gcperf.Experiments.artifact ~scope ?jobs id with
     | None ->
         Printf.eprintf "unknown experiment %S; try `gcperf list`\n" id;
         exit 1
     | Some artifact -> emit out (Gcperf.Artifact.render artifact format)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id_arg $ quick_arg $ scope_arg $ format_arg $ out_arg)
+    Term.(
+      const run $ id_arg $ quick_arg $ scope_arg $ format_arg $ jobs_arg
+      $ out_arg)
 
 (* --- trace --------------------------------------------------------- *)
 
@@ -112,7 +122,12 @@ let trace_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"COLLECTOR"
-          ~doc:"Collector: serial, parnew, parallel, parallelold, cms, g1.")
+          ~doc:
+            "Collector: serial, parnew, parallel, parallelold, cms, g1; a \
+             comma-separated list, or $(b,all).  With several collectors \
+             the traced runs fan out over the worker pool, each section \
+             is printed in collector order, and a merged percentile \
+             summary over every collector's spans closes the dump.")
   in
   let bench_arg =
     let doc = "DaCapo-like benchmark to drive the collector." in
@@ -137,13 +152,18 @@ let trace_cmd =
     in
     Arg.(value & opt string "jsonl" & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
   in
-  let run collector bench heap young iterations format out =
-    let kind =
-      match Gcperf_gc.Gc_config.kind_of_string collector with
-      | Some k -> k
-      | None ->
-          Printf.eprintf "unknown collector %S\n" collector;
-          exit 1
+  let run collector bench heap young iterations format jobs out =
+    let kinds =
+      if collector = "all" then Gcperf.Exp_common.all_kinds
+      else
+        List.map
+          (fun c ->
+            match Gcperf_gc.Gc_config.kind_of_string c with
+            | Some k -> k
+            | None ->
+                Printf.eprintf "unknown collector %S\n" c;
+                exit 1)
+          (String.split_on_char ',' collector)
     in
     let b =
       match Gcperf_dacapo.Suite.find bench with
@@ -164,29 +184,63 @@ let trace_cmd =
           exit 1
     in
     let mb = 1024 * 1024 in
-    let gc =
-      Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
-        ~young_bytes:(young * mb)
-    in
-    (* The registry is explicitly enabled here; everywhere else the
-       process-wide default (off) applies, so experiments never pay for
-       tracing they do not read. *)
-    let telemetry = Telemetry.create ~enabled:true () in
     let machine = Gcperf_machine.Machine.paper_server () in
-    let r =
-      Gcperf_dacapo.Harness.run ~telemetry ~iterations machine b ~gc
-        ~system_gc:false ()
+    (* One traced run per collector; each cell owns its VM and its
+       telemetry registry, so the runs fan out over the pool and the
+       per-cell dumps stay independent. *)
+    let jobs = Option.value jobs ~default:(Gcperf.Exp_common.default_jobs ()) in
+    let traced =
+      Gcperf.Exp_common.Pool.map_list ~jobs
+        (fun kind ->
+          let gc =
+            Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
+              ~young_bytes:(young * mb)
+          in
+          (* The registry is explicitly enabled here; everywhere else the
+             process-wide default (off) applies, so experiments never pay
+             for tracing they do not read. *)
+          let telemetry = Telemetry.create ~enabled:true () in
+          let r =
+            Gcperf_dacapo.Harness.run ~telemetry ~iterations machine b ~gc
+              ~system_gc:false ()
+          in
+          (kind, telemetry, r.Gcperf_dacapo.Harness.crashed))
+        kinds
     in
-    if r.Gcperf_dacapo.Harness.crashed then begin
-      Printf.eprintf "benchmark %s crashes under the study's setup\n" bench;
-      exit 1
-    end;
-    emit out (render telemetry)
+    List.iter
+      (fun (_, _, crashed) ->
+        if crashed then begin
+          Printf.eprintf "benchmark %s crashes under the study's setup\n"
+            bench;
+          exit 1
+        end)
+      traced;
+    match traced with
+    | [ (_, telemetry, _) ] ->
+        (* Single collector: exactly the historical dump. *)
+        emit out (render telemetry)
+    | _ ->
+        (* Several collectors: per-collector sections in request order,
+           then one summary over the merged sinks — the spans and
+           histograms of every run, merged in deterministic cell order. *)
+        let merged = Telemetry.create ~enabled:true () in
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun (kind, telemetry, _) ->
+            Buffer.add_string buf
+              (Printf.sprintf "==== %s ====\n"
+                 (Gcperf_gc.Gc_config.kind_to_string kind));
+            Buffer.add_string buf (render telemetry);
+            Telemetry.merge_into ~into:merged telemetry)
+          traced;
+        Buffer.add_string buf "==== merged ====\n";
+        Buffer.add_string buf (Sink.summary_json merged ^ "\n");
+        emit out (Buffer.contents buf)
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ collector_arg $ bench_arg $ heap_arg $ young_arg
-      $ iterations_arg $ trace_format_arg $ out_arg)
+      $ iterations_arg $ trace_format_arg $ jobs_arg $ out_arg)
 
 (* --- bench --------------------------------------------------------- *)
 
@@ -307,15 +361,16 @@ let suite_cmd =
 
 let all_cmd =
   let doc = "Run every experiment and print all artifacts in order." in
-  let run quick scope =
+  let run quick scope jobs =
     let scope = resolve_scope quick scope in
     List.iter
       (fun (id, build) ->
         Printf.printf "==== %s ====\n%s\n%!" id
-          (Gcperf.Artifact.to_text (build ~scope)))
+          (Gcperf.Artifact.to_text (build ~scope ?jobs ())))
       Gcperf.Experiments.artifacts
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ quick_arg $ scope_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ quick_arg $ scope_arg $ jobs_arg)
 
 let main =
   let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in

@@ -38,11 +38,11 @@ let max_full events =
 
 (* Ablation 1: G1 with a parallel full collection, on the Figure 1/2
    campaign (xalan, forced system GC). *)
-let ablate_g1_full ~scope =
+let ablate_g1_full ~scope ~jobs =
   let machine = Exp_common.machine () in
   let bench = Option.get (Suite.find "xalan") in
   let iterations = Scope.scaled scope 10 in
-  let one mode g1_parallel_full =
+  let one (mode, g1_parallel_full) =
     let gc =
       { (Exp_common.baseline Gc_config.G1) with Gc_config.g1_parallel_full }
     in
@@ -56,11 +56,15 @@ let ablate_g1_full ~scope =
       max_full_pause_s = max_full r.Harness.events;
     }
   in
-  [ one "serial full GC (JDK8)" false; one "parallel full GC (ablation)" true ]
+  Exp_common.Pool.map_list ~jobs one
+    [
+      ("serial full GC (JDK8)", false);
+      ("parallel full GC (ablation)", true);
+    ]
 
 (* Ablation 2: the NUMA remote-access penalty, on the stressed server's
    ParallelOld full collection. *)
-let ablate_numa ~scope =
+let ablate_numa ~scope ~jobs =
   (* Short campaign anyway; never below the 0.1 h the quick mode used. *)
   let hours = Float.max 0.1 (Scope.hours scope 0.6) in
   let one numa_factor =
@@ -90,15 +94,16 @@ let ablate_numa ~scope =
      with Gcperf_gc.Gc_ctx.Out_of_memory _ -> ());
     { numa_factor; full_pause_s = max_full (Gc_event.events (Vm.events vm)) }
   in
-  [ one 3.2 (* the model's default *); one 1.0 (* NUMA-oblivious ideal *) ]
+  Exp_common.Pool.map_list ~jobs one
+    [ 3.2 (* the model's default *); 1.0 (* NUMA-oblivious ideal *) ]
 
 (* Ablation 3: tenuring-threshold sweep on h2 with a small heap. *)
-let ablate_tenuring ~scope =
+let ablate_tenuring ~scope ~jobs =
   let machine = Exp_common.machine () in
   let bench = Option.get (Suite.find "h2") in
   let iterations = Scope.scaled scope 10 in
   let thresholds = [ 1; 3; 6; 12 ] in
-  List.map
+  Exp_common.Pool.map_list ~jobs
     (fun threshold ->
       let gc =
         (* A survivor space large enough (300 MB, adaptive target 150 MB,
@@ -131,11 +136,11 @@ let ablate_tenuring ~scope =
       })
     thresholds
 
-let run_scope ~scope () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
   {
-    g1_full = ablate_g1_full ~scope;
-    numa = ablate_numa ~scope;
-    tenuring = ablate_tenuring ~scope;
+    g1_full = ablate_g1_full ~scope ~jobs;
+    numa = ablate_numa ~scope ~jobs;
+    tenuring = ablate_tenuring ~scope ~jobs;
   }
 
 let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()

@@ -41,7 +41,7 @@ type result = {
   tenuring : tenuring_row list;
 }
 
-val run_scope : scope:Scope.t -> unit -> result
+val run_scope : scope:Scope.t -> ?jobs:int -> unit -> result
 
 val run : ?quick:bool -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

@@ -42,12 +42,16 @@ let one ~scope kind =
     update_report = Client.report points ~kind:Client.Update;
   }
 
-let run_scope ~scope () =
-  {
-    parallel_old = one ~scope Gc_config.ParallelOld;
-    cms = one ~scope Gc_config.Cms;
-    g1 = one ~scope Gc_config.G1;
-  }
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
+  (* One cell per collector; the server run and its replayed YCSB client
+     live entirely inside the cell. *)
+  match
+    Exp_common.Pool.map_list ~jobs
+      (fun kind -> one ~scope kind)
+      [ Gc_config.ParallelOld; Gc_config.Cms; Gc_config.G1 ]
+  with
+  | [ parallel_old; cms; g1 ] -> { parallel_old; cms; g1 }
+  | _ -> assert false
 
 let run ?(quick = false) () = run_scope ~scope:(Scope.of_quick quick) ()
 

@@ -21,7 +21,7 @@ type result = {
   g1 : gc_experiment;
 }
 
-val run_scope : scope:Scope.t -> unit -> result
+val run_scope : scope:Scope.t -> ?jobs:int -> unit -> result
 
 val run : ?quick:bool -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

@@ -1,6 +1,11 @@
 module Machine = Gcperf_machine.Machine
 module Gc_config = Gcperf_gc.Gc_config
+module Pool = Gcperf_exec.Pool
 
+(* Built on the orchestrating domain, before any fan-out: every runner
+   hoists [machine ()] out of its cell array, and [Machine.t] is a
+   deeply immutable record, so sharing it read-only across worker
+   domains is race-free. *)
 let machine_memo = ref None
 
 let machine () =
@@ -10,6 +15,8 @@ let machine () =
       let m = Machine.paper_server () in
       machine_memo := Some m;
       m
+
+let default_jobs () = Pool.default_jobs ()
 
 let gb = Gc_config.gb
 let mb = Gc_config.mb

@@ -3,8 +3,17 @@
     Fixes the machine, seeds, heap/young size grids and naming so every
     experiment in the study draws from the same configuration space. *)
 
+module Pool = Gcperf_exec.Pool
+(** Re-exported so runners fan cells out without naming the library. *)
+
 val machine : unit -> Gcperf_machine.Machine.t
-(** The paper's 48-core server. *)
+(** The paper's 48-core server.  Memoised on the orchestrating domain:
+    runners call this before fanning cells out over the
+    {!Gcperf_exec.Pool} and share the immutable result read-only. *)
+
+val default_jobs : unit -> int
+(** {!Gcperf_exec.Pool.default_jobs}: the default for every runner's
+    [?jobs] parameter. *)
 
 val gb : int -> int
 val mb : int -> int

@@ -17,39 +17,55 @@ let kind_index kind =
   in
   find 0 Exp_common.all_kinds
 
-let run_scope ~scope () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
   let machine = Exp_common.machine () in
   let iterations = Scope.scaled scope 10 in
   let grid = Scope.grid scope (Exp_common.size_grid ()) in
   let benches = Suite.stable_subset in
+  let kinds = Exp_common.all_kinds in
+  let nkinds = List.length kinds in
   let mode system_gc =
+    (* Flatten benchmark x sizes x collector into one cell array; each
+       cell is a single run.  The win tally below walks the results in
+       cell order, consuming [nkinds] consecutive runs per experiment —
+       the same grouping the sequential nested loops produced. *)
+    let cells =
+      Array.of_list
+        (List.concat_map
+           (fun bench ->
+             List.concat_map
+               (fun (heap, young) ->
+                 List.map (fun kind -> (bench, heap, young, kind)) kinds)
+               grid)
+           benches)
+    in
+    let runs =
+      Exp_common.Pool.map_cells ~jobs
+        (fun (bench, heap, young, kind) ->
+          let gc = Exp_common.config kind ~heap ~young () in
+          (* Every (benchmark, sizes, collector) run is a separate
+             noisy execution, as in the study: close races are
+             decided by run-to-run variation, not by list order. *)
+          Harness.run
+            ~seed:(Exp_common.seed + (37 * kind_index kind))
+            ~iterations machine bench ~gc ~system_gc ())
+        cells
+    in
     let wins = Hashtbl.create 8 in
     let experiments = ref 0 in
-    List.iter
-      (fun bench ->
-        List.iter
-          (fun (heap, young) ->
-            incr experiments;
-            let runs =
-              List.map
-                (fun kind ->
-                  let gc = Exp_common.config kind ~heap ~young () in
-                  (* Every (benchmark, sizes, collector) run is a separate
-                     noisy execution, as in the study: close races are
-                     decided by run-to-run variation, not by list order. *)
-                  Harness.run
-                    ~seed:(Exp_common.seed + (37 * kind_index kind))
-                    ~iterations machine bench ~gc ~system_gc ())
-                Exp_common.all_kinds
-            in
-            match Harness.best_of runs with
-            | None -> ()
-            | Some best ->
-                let k = best.Harness.gc_name in
-                Hashtbl.replace wins k
-                  (1 + Option.value ~default:0 (Hashtbl.find_opt wins k)))
-          grid)
-      benches;
+    let n_experiments = Array.length cells / nkinds in
+    for e = 0 to n_experiments - 1 do
+      incr experiments;
+      let group =
+        List.init nkinds (fun k -> runs.((e * nkinds) + k))
+      in
+      match Harness.best_of group with
+      | None -> ()
+      | Some best ->
+          let k = best.Harness.gc_name in
+          Hashtbl.replace wins k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt wins k))
+    done;
     let total = float_of_int !experiments in
     let ranking =
       List.filter_map

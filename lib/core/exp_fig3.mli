@@ -15,7 +15,7 @@ type result = {
   experiments : int;  (** experiments per mode *)
 }
 
-val run_scope : scope:Scope.t -> unit -> result
+val run_scope : scope:Scope.t -> ?jobs:int -> unit -> result
 
 val run : ?quick:bool -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

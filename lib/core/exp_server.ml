@@ -104,11 +104,16 @@ let run_server ?(quick = false) ~kind ~stress ~hours () =
 
 type figure4 = { cms : server_run; g1 : server_run }
 
-let figure4_scope ~scope () =
-  {
-    cms = run_server_scope ~scope ~kind:Gc_config.Cms ~stress:true ~hours:2.0 ();
-    g1 = run_server_scope ~scope ~kind:Gc_config.G1 ~stress:true ~hours:2.0 ();
-  }
+let figure4_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
+  (* Two independent server runs (CMS, G1); each cell builds its own VM
+     and server from fixed seeds. *)
+  match
+    Exp_common.Pool.map_list ~jobs
+      (fun kind -> run_server_scope ~scope ~kind ~stress:true ~hours:2.0 ())
+      [ Gc_config.Cms; Gc_config.G1 ]
+  with
+  | [ cms; g1 ] -> { cms; g1 }
+  | _ -> assert false
 
 let figure4 ?(quick = false) () = figure4_scope ~scope:(Scope.of_quick quick) ()
 
@@ -140,18 +145,16 @@ type parallel_old_analysis = {
   stress : server_run;
 }
 
-let parallel_old_analysis_scope ~scope () =
-  {
-    one_hour =
-      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:false
-        ~hours:1.0 ();
-    two_hours =
-      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:false
-        ~hours:2.0 ();
-    stress =
-      run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress:true
-        ~hours:2.0 ();
-  }
+let parallel_old_analysis_scope ~scope ?(jobs = Exp_common.default_jobs ())
+    () =
+  match
+    Exp_common.Pool.map_list ~jobs
+      (fun (stress, hours) ->
+        run_server_scope ~scope ~kind:Gc_config.ParallelOld ~stress ~hours ())
+      [ (false, 1.0); (false, 2.0); (true, 2.0) ]
+  with
+  | [ one_hour; two_hours; stress ] -> { one_hour; two_hours; stress }
+  | _ -> assert false
 
 let parallel_old_analysis ?(quick = false) () =
   parallel_old_analysis_scope ~scope:(Scope.of_quick quick) ()

@@ -46,7 +46,7 @@ val run_server :
 
 type figure4 = { cms : server_run; g1 : server_run }
 
-val figure4_scope : scope:Scope.t -> unit -> figure4
+val figure4_scope : scope:Scope.t -> ?jobs:int -> unit -> figure4
 
 val figure4 : ?quick:bool -> unit -> figure4
 
@@ -58,7 +58,8 @@ type parallel_old_analysis = {
   stress : server_run;
 }
 
-val parallel_old_analysis_scope : scope:Scope.t -> unit -> parallel_old_analysis
+val parallel_old_analysis_scope :
+  scope:Scope.t -> ?jobs:int -> unit -> parallel_old_analysis
 
 val parallel_old_analysis : ?quick:bool -> unit -> parallel_old_analysis
 

@@ -13,7 +13,8 @@ type row = {
 
 type result = { rows : row list }
 
-let run_scope ~scope ?(all_benchmarks = false) () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ())
+    ?(all_benchmarks = false) () =
   let machine = Exp_common.machine () in
   let runs = Scope.scaled scope 10 in
   let iterations = Scope.scaled scope 10 in
@@ -23,16 +24,30 @@ let run_scope ~scope ?(all_benchmarks = false) () =
     else Suite.stable_subset
   in
   let gc = Exp_common.baseline Gcperf_gc.Gc_config.ParallelOld in
+  (* One cell per replicated run; each builds its own VM from its own
+     derived seed, so cells are pure and the pool may run them in any
+     order.  Results come back in cell order: chunk [bi] holds bench
+     [bi]'s replicates in replicate order, exactly as the sequential
+     nested map produced them. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun bench -> List.init runs (fun i -> (bench, i)))
+         benches)
+  in
+  let results =
+    Exp_common.Pool.map_cells ~jobs
+      (fun (bench, i) ->
+        Harness.run ~seed:(Exp_common.seed + (1009 * i)) ~iterations machine
+          bench ~gc ~system_gc:true ())
+      cells
+  in
   let rows =
-    List.map
-      (fun bench ->
-        let results =
-          List.init runs (fun i ->
-              Harness.run ~seed:(Exp_common.seed + (1009 * i)) ~iterations
-                machine bench ~gc ~system_gc:true ())
-        in
-        let finals = Array.of_list (List.map (fun r -> r.Harness.final_s) results) in
-        let totals = Array.of_list (List.map (fun r -> r.Harness.total_s) results) in
+    List.mapi
+      (fun bi bench ->
+        let chunk = Array.sub results (bi * runs) runs in
+        let finals = Array.map (fun r -> r.Harness.final_s) chunk in
+        let totals = Array.map (fun r -> r.Harness.total_s) chunk in
         {
           bench = bench.Suite.profile.P.name;
           final_rsd_pct = Stats.rsd finals;

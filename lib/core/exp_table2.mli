@@ -15,9 +15,12 @@ type row = {
 
 type result = { rows : row list }
 
-val run_scope : scope:Scope.t -> ?all_benchmarks:bool -> unit -> result
+val run_scope :
+  scope:Scope.t -> ?jobs:int -> ?all_benchmarks:bool -> unit -> result
 (** [all_benchmarks] also measures the unstable benchmarks (the paper ran
-    everything and then selected); default false = the Table 2 subset. *)
+    everything and then selected); default false = the Table 2 subset.
+    [jobs] caps the worker-domain count for the cell fan-out (default
+    {!Exp_common.default_jobs}); the result is identical for any value. *)
 
 val run : ?quick:bool -> ?all_benchmarks:bool -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

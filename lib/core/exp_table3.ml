@@ -21,7 +21,8 @@ let big_grid () =
   let gb = Exp_common.gb in
   [ (gb 64, gb 6); (gb 64, gb 12); (gb 64, gb 24); (gb 64, gb 48) ]
 
-let run_scope ~scope ?(kind = Gc_config.Cms) ?(bench = "h2") () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ())
+    ?(kind = Gc_config.Cms) ?(bench = "h2") () =
   let machine = Exp_common.machine () in
   let b =
     match Suite.find bench with
@@ -30,8 +31,10 @@ let run_scope ~scope ?(kind = Gc_config.Cms) ?(bench = "h2") () =
   in
   let iterations = Scope.scaled scope 10 in
   let grid = big_grid () @ Exp_common.small_size_grid () in
+  (* Each grid point is an independent cell: own VM, own heap, shared
+     read-only machine. *)
   let rows =
-    List.map
+    Exp_common.Pool.map_list ~jobs
       (fun (heap, young) ->
         let gc = Exp_common.config kind ~heap ~young () in
         let r =

@@ -24,6 +24,7 @@ type result = { rows : row list; collector : string; bench : string }
 
 val run_scope :
   scope:Scope.t ->
+  ?jobs:int ->
   ?kind:Gcperf_gc.Gc_config.kind ->
   ?bench:string ->
   unit ->

@@ -37,14 +37,15 @@ let kind_index kind =
   in
   find 0 Exp_common.all_kinds
 
-let run_scope ~scope () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
   let machine = Exp_common.machine () in
   let iterations = Scope.scaled scope 10 in
+  (* One cell per (benchmark, collector): the with/without-TLAB pair
+     stays inside the cell because the classification couples the two
+     runs. *)
   let cells =
-    List.concat_map
-      (fun bench ->
-        List.map
-          (fun kind ->
+    Exp_common.Pool.map_list ~jobs
+      (fun (bench, kind) ->
             let base = Exp_common.baseline kind in
             let cell_seed = Exp_common.seed + (37 * kind_index kind) in
             (* As in the study, the two configurations are measured by two
@@ -69,8 +70,10 @@ let run_scope ~scope () =
                 classify ~deviation:0.05 ~with_tlab:with_t.Harness.total_s
                   ~without_tlab:without_t.Harness.total_s;
             })
-          Exp_common.all_kinds)
-      Suite.stable_subset
+      (List.concat_map
+         (fun bench ->
+           List.map (fun kind -> (bench, kind)) Exp_common.all_kinds)
+         Suite.stable_subset)
   in
   { cells }
 

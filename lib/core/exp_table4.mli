@@ -25,7 +25,7 @@ type result = { cells : cell list }
 val classify : deviation:float -> with_tlab:float -> without_tlab:float -> influence
 (** The paper's 5 % rule, exposed for tests. *)
 
-val run_scope : scope:Scope.t -> unit -> result
+val run_scope : scope:Scope.t -> ?jobs:int -> unit -> result
 
 val run : ?quick:bool -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

@@ -50,21 +50,35 @@ let classify_pause ~max_pause_s ~server =
 
 let main_kinds = [ Gc_config.ParallelOld; Gc_config.Cms; Gc_config.G1 ]
 
-let run_scope ~scope () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) () =
   let machine = Exp_common.machine () in
   let iterations = Scope.scaled scope 10 in
   (* DaCapo side: stable subset, baseline configuration, system GC on (the
-     paper's case (1), where the collectors differ the most). *)
-  let dacapo =
-    List.map
-      (fun kind ->
+     paper's case (1), where the collectors differ the most).  One cell
+     per (collector, benchmark); the per-collector totals fold over the
+     results in cell order, so chunk [ki] holds collector [ki]'s runs in
+     benchmark order exactly as the sequential nested map produced them. *)
+  let benches = Suite.stable_subset in
+  let nbenches = List.length benches in
+  let dacapo_cells =
+    Array.of_list
+      (List.concat_map
+         (fun kind -> List.map (fun bench -> (kind, bench)) benches)
+         main_kinds)
+  in
+  let dacapo_runs =
+    Exp_common.Pool.map_cells ~jobs
+      (fun (kind, bench) ->
         let gc = Exp_common.baseline kind in
+        Harness.run ~seed:Exp_common.seed ~iterations machine bench ~gc
+          ~system_gc:true ())
+      dacapo_cells
+  in
+  let dacapo =
+    List.mapi
+      (fun ki kind ->
         let runs =
-          List.map
-            (fun bench ->
-              Harness.run ~seed:Exp_common.seed ~iterations machine bench ~gc
-                ~system_gc:true ())
-            Suite.stable_subset
+          Array.to_list (Array.sub dacapo_runs (ki * nbenches) nbenches)
         in
         let total =
           List.fold_left (fun acc r -> acc +. r.Harness.total_s) 0.0 runs
@@ -97,13 +111,16 @@ let run_scope ~scope () =
         })
       dacapo
   in
-  (* Server side: stressed key-value store. *)
+  (* Server side: stressed key-value store, one cell per collector. *)
+  let server_runs =
+    Exp_common.Pool.map_list ~jobs
+      (fun kind ->
+        Exp_server.run_server_scope ~scope ~kind ~stress:true ~hours:2.0 ())
+      main_kinds
+  in
   let server_entries =
     List.map
-      (fun kind ->
-        let r =
-          Exp_server.run_server_scope ~scope ~kind ~stress:true ~hours:2.0 ()
-        in
+      (fun (r : Exp_server.server_run) ->
         {
           gc = r.Exp_server.gc;
           experiment = "Cassandra";
@@ -124,7 +141,7 @@ let run_scope ~scope () =
             classify_pause ~max_pause_s:r.Exp_server.max_pause_s ~server:true;
           max_pause_s = r.Exp_server.max_pause_s;
         })
-      main_kinds
+      server_runs
   in
   { entries = dacapo_entries @ server_entries }
 

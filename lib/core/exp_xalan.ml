@@ -34,7 +34,8 @@ let series_of_run (r : Harness.result) =
     total_s = r.Harness.total_s;
   }
 
-let run_scope ~scope ?(bench = "xalan") () =
+let run_scope ~scope ?(jobs = Exp_common.default_jobs ()) ?(bench = "xalan")
+    () =
   let machine = Exp_common.machine () in
   let b =
     match Suite.find bench with
@@ -42,16 +43,27 @@ let run_scope ~scope ?(bench = "xalan") () =
     | None -> invalid_arg ("Exp_xalan: unknown benchmark " ^ bench)
   in
   let iterations = Scope.scaled scope 10 in
-  let one system_gc =
-    List.map
-      (fun kind ->
+  (* Both system-GC modes and all six collectors fan out together: 12
+     independent cells, results split back by mode in collector order. *)
+  let kinds = Exp_common.all_kinds in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun system_gc -> List.map (fun kind -> (system_gc, kind)) kinds)
+         [ true; false ])
+  in
+  let series =
+    Exp_common.Pool.map_cells ~jobs
+      (fun (system_gc, kind) ->
         let gc = Exp_common.baseline kind in
         series_of_run
           (Harness.run ~seed:Exp_common.seed ~iterations machine b ~gc
              ~system_gc ()))
-      Exp_common.all_kinds
+      cells
   in
-  { with_system_gc = one true; without_system_gc = one false }
+  let nkinds = List.length kinds in
+  let slice off = Array.to_list (Array.sub series off nkinds) in
+  { with_system_gc = slice 0; without_system_gc = slice nkinds }
 
 let run ?(quick = false) ?bench () =
   run_scope ~scope:(Scope.of_quick quick) ?bench ()

@@ -15,7 +15,7 @@ type gc_series = {
 
 type result = { with_system_gc : gc_series list; without_system_gc : gc_series list }
 
-val run_scope : scope:Scope.t -> ?bench:string -> unit -> result
+val run_scope : scope:Scope.t -> ?jobs:int -> ?bench:string -> unit -> result
 
 val run : ?quick:bool -> ?bench:string -> unit -> result
 (** [run_scope] with {!Scope.of_quick}. *)

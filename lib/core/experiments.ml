@@ -3,34 +3,38 @@ module A = Artifact
 let scope_params scope = [ ("scope", Scope.to_string scope) ]
 
 (* Figures 1 and 2 come from the same campaign, and Figure 5 shares its
-   runs with Tables 5-7; memoise per scope. *)
+   runs with Tables 5-7; memoise per scope.  The memo key deliberately
+   ignores [jobs]: the pool's determinism contract makes results
+   byte-identical for every worker count, so a hit computed at one
+   [jobs] serves every other.  Both memos live on the orchestrating
+   domain only — worker domains never call these entry points. *)
 let xalan_memo : (string * Exp_xalan.result) option ref = ref None
 
-let xalan ~scope =
+let xalan ~scope ~jobs =
   let key = Scope.to_string scope in
   match !xalan_memo with
   | Some (k, r) when k = key -> r
   | _ ->
-      let r = Exp_xalan.run_scope ~scope () in
+      let r = Exp_xalan.run_scope ~scope ?jobs () in
       xalan_memo := Some (key, r);
       r
 
 let client_memo : (string * Exp_client.result) option ref = ref None
 
-let client ~scope =
+let client ~scope ~jobs =
   let key = Scope.to_string scope in
   match !client_memo with
   | Some (k, r) when k = key -> r
   | _ ->
-      let r = Exp_client.run_scope ~scope () in
+      let r = Exp_client.run_scope ~scope ?jobs () in
       client_memo := Some (key, r);
       r
 
 (* ------------------------------------------------------------------ *)
 (* Artifact builders: one typed artifact per experiment id.           *)
 
-let table2_artifact ~scope =
-  let r = Exp_table2.run_scope ~scope () in
+let table2_artifact ~scope ?jobs () =
+  let r = Exp_table2.run_scope ~scope ?jobs () in
   A.make ~name:"table2" ~title:"Table 2: benchmark stability"
     ~params:(scope_params scope)
     ~columns:[ "bench"; "final_rsd_pct"; "total_rsd_pct"; "runs" ]
@@ -47,8 +51,8 @@ let table2_artifact ~scope =
          r.Exp_table2.rows)
     ~render_text:(fun () -> Exp_table2.render r)
 
-let table3_artifact ~scope =
-  let r = Exp_table3.run_scope ~scope () in
+let table3_artifact ~scope ?jobs () =
+  let r = Exp_table3.run_scope ~scope ?jobs () in
   A.make ~name:"table3"
     ~title:"Table 3: pause statistics across heap/young sizes"
     ~params:
@@ -84,8 +88,8 @@ let table3_artifact ~scope =
          r.Exp_table3.rows)
     ~render_text:(fun () -> Exp_table3.render r)
 
-let table4_artifact ~scope =
-  let r = Exp_table4.run_scope ~scope () in
+let table4_artifact ~scope ?jobs () =
+  let r = Exp_table4.run_scope ~scope ?jobs () in
   A.make ~name:"table4" ~title:"Table 4: TLAB influence"
     ~params:(scope_params scope)
     ~columns:[ "bench"; "gc"; "with_tlab_s"; "without_tlab_s"; "influence" ]
@@ -127,16 +131,16 @@ let series_rows (r : Exp_xalan.result) =
       ("no-system-gc", r.Exp_xalan.without_system_gc);
     ]
 
-let fig1_artifact ~scope =
-  let r = xalan ~scope in
+let fig1_artifact ~scope ?jobs () =
+  let r = xalan ~scope ~jobs in
   A.make ~name:"fig1" ~title:"Figure 1: Xalan GC pauses"
     ~params:(scope_params scope)
     ~columns:[ "mode"; "gc"; "pauses"; "max_pause_s"; "total_s" ]
     ~rows:(series_rows r)
     ~render_text:(fun () -> Exp_xalan.render_figure1 r)
 
-let fig2_artifact ~scope =
-  let r = xalan ~scope in
+let fig2_artifact ~scope ?jobs () =
+  let r = xalan ~scope ~jobs in
   A.make ~name:"fig2" ~title:"Figure 2: Xalan iteration durations"
     ~params:(scope_params scope)
     ~columns:[ "mode"; "gc"; "iteration"; "duration_s" ]
@@ -156,8 +160,8 @@ let fig2_artifact ~scope =
          ])
     ~render_text:(fun () -> Exp_xalan.render_figure2 r)
 
-let fig3_artifact ~scope =
-  let r = Exp_fig3.run_scope ~scope () in
+let fig3_artifact ~scope ?jobs () =
+  let r = Exp_fig3.run_scope ~scope ?jobs () in
   A.make ~name:"fig3" ~title:"Figure 3: GC ranking by experiments won"
     ~params:
       (scope_params scope
@@ -204,8 +208,8 @@ let server_run_columns =
     "oom";
   ]
 
-let fig4_artifact ~scope =
-  let r = Exp_server.figure4_scope ~scope () in
+let fig4_artifact ~scope ?jobs () =
+  let r = Exp_server.figure4_scope ~scope ?jobs () in
   A.make ~name:"fig4" ~title:"Figure 4: CMS and G1 server pauses"
     ~params:(scope_params scope) ~columns:server_run_columns
     ~rows:
@@ -215,8 +219,8 @@ let fig4_artifact ~scope =
       ]
     ~render_text:(fun () -> Exp_server.render_figure4 r)
 
-let fig5_artifact ~scope =
-  let r = client ~scope in
+let fig5_artifact ~scope ?jobs () =
+  let r = client ~scope ~jobs in
   let row (e : Exp_client.gc_experiment) =
     let pts = e.Exp_client.points in
     let correlated =
@@ -248,8 +252,8 @@ let fig5_artifact ~scope =
       ]
     ~render_text:(fun () -> Exp_client.render_figure5 r)
 
-let table567_artifact ~scope =
-  let r = client ~scope in
+let table567_artifact ~scope ?jobs () =
+  let r = client ~scope ~jobs in
   let rows_of (e : Exp_client.gc_experiment) =
     List.concat_map
       (fun (op, (rep : Gcperf_stats.Stats.latency_report)) ->
@@ -290,8 +294,8 @@ let table567_artifact ~scope =
       @ rows_of r.Exp_client.cms @ rows_of r.Exp_client.g1)
     ~render_text:(fun () -> Exp_client.render_tables567 r)
 
-let table8_artifact ~scope =
-  let r = Exp_table8.run_scope ~scope () in
+let table8_artifact ~scope ?jobs () =
+  let r = Exp_table8.run_scope ~scope ?jobs () in
   A.make ~name:"table8" ~title:"Table 8: collector summary"
     ~params:(scope_params scope)
     ~columns:
@@ -311,8 +315,8 @@ let table8_artifact ~scope =
          r.Exp_table8.entries)
     ~render_text:(fun () -> Exp_table8.render r)
 
-let server_po_artifact ~scope =
-  let r = Exp_server.parallel_old_analysis_scope ~scope () in
+let server_po_artifact ~scope ?jobs () =
+  let r = Exp_server.parallel_old_analysis_scope ~scope ?jobs () in
   A.make ~name:"server-po" ~title:"ParallelOld server analysis"
     ~params:(scope_params scope) ~columns:server_run_columns
     ~rows:
@@ -323,8 +327,8 @@ let server_po_artifact ~scope =
       ]
     ~render_text:(fun () -> Exp_server.render_parallel_old r)
 
-let ablation_artifact ~scope =
-  let r = Exp_ablation.run_scope ~scope () in
+let ablation_artifact ~scope ?jobs () =
+  let r = Exp_ablation.run_scope ~scope ?jobs () in
   let rows =
     List.concat_map
       (fun (row : Exp_ablation.g1_full_row) ->
@@ -401,8 +405,8 @@ let artifacts =
 
 let all_names = List.map fst artifacts
 
-let artifact ~scope name =
-  Option.map (fun f -> f ~scope) (List.assoc_opt name artifacts)
+let artifact ~scope ?jobs name =
+  Option.map (fun f -> f ~scope ?jobs ()) (List.assoc_opt name artifacts)
 
 (* ------------------------------------------------------------------ *)
 (* Legacy string API: thin wrappers over the artifacts.               *)

@@ -6,16 +6,19 @@
     as thin wrappers: [?quick:true] maps to {!Scope.ci} and returns
     [Artifact.to_text], byte-identical to what the old code produced. *)
 
-val artifacts : (string * (scope:Scope.t -> Artifact.t)) list
+val artifacts : (string * (scope:Scope.t -> ?jobs:int -> unit -> Artifact.t)) list
 (** The registry: experiment id to artifact builder.  Figures 1/2 share
     one Xalan campaign and Figure 5 / Tables 5-7 one client campaign,
-    memoised per scope. *)
+    memoised per scope (not per [jobs] — results are byte-identical for
+    every worker count, see {!Gcperf_exec.Pool}). *)
 
 val all_names : string list
 (** Experiment ids accepted by {!artifact} and {!by_name}. *)
 
-val artifact : scope:Scope.t -> string -> Artifact.t option
-(** Run one experiment and return its typed artifact. *)
+val artifact : scope:Scope.t -> ?jobs:int -> string -> Artifact.t option
+(** Run one experiment and return its typed artifact.  [jobs] caps the
+    worker-domain count used to fan the experiment's cells out (default
+    {!Exp_common.default_jobs}); any value yields the same artifact. *)
 
 (** {1 Legacy string API} *)
 

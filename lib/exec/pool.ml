@@ -1,0 +1,63 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Lowest-failing-index-wins failure slot.  Workers race to publish their
+   cell's exception; a CAS loop keeps the one with the smallest index, so
+   the exception that escapes [map_cells] does not depend on domain
+   scheduling.  (The lowest-indexed cell that fails always runs: cells
+   below it never fail, so no recorded failure can cause it to be
+   skipped.) *)
+type failure = { index : int; exn_ : exn; bt : Printexc.raw_backtrace }
+
+let note_failure slot index exn_ bt =
+  let rec loop () =
+    let cur = Atomic.get slot in
+    let better = match cur with None -> true | Some f -> index < f.index in
+    if better && not (Atomic.compare_and_set slot cur (Some { index; exn_; bt }))
+    then loop ()
+  in
+  loop ()
+
+let map_cells ~jobs f cells =
+  let n = Array.length cells in
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let jobs = Stdlib.min jobs n in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map f cells
+  else begin
+    (* Distinct indices are written by distinct workers and read only
+       after the joins below, so the results array needs no atomics. *)
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failed = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue := false
+        else begin
+          let skip =
+            match Atomic.get failed with
+            | Some fl -> fl.index < i
+            | None -> false
+          in
+          if not skip then begin
+            match f cells.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                note_failure failed i e (Printexc.get_raw_backtrace ())
+          end
+        end
+      done
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get failed with
+    | Some fl -> Printexc.raise_with_backtrace fl.exn_ fl.bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* no failure *))
+          results
+  end
+
+let map_list ~jobs f l = Array.to_list (map_cells ~jobs f (Array.of_list l))

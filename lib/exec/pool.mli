@@ -1,0 +1,37 @@
+(** Domain-based work pool for experiment fan-out.
+
+    The experiment matrices (collector x heap/young grid x benchmark x
+    replicated run) are arrays of {e pure} cells: each cell builds its
+    own [Machine.t], VM, heap and PRNG stream from an
+    [Exp_common.seed]-derived seed, and no mutable state crosses
+    domains.  {!map_cells} distributes such an array over a fixed number
+    of worker domains and returns the results {b in input order}, so a
+    parallel run is byte-identical to a sequential one — the determinism
+    contract DESIGN.md §9 spells out.
+
+    Scheduling is self-balancing: workers repeatedly claim the next
+    unclaimed index from a shared atomic cursor, so a long cell (say the
+    64 GB heap point of the grid) does not serialise the tail of the
+    array behind it. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: one worker per available core.
+    Every [?jobs] parameter across the experiment runners defaults to
+    this. *)
+
+val map_cells : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_cells ~jobs f cells] is [Array.map f cells], computed by
+    [min jobs (Array.length cells)] domains (the calling domain works
+    too).  [jobs <= 1] — or fewer than two cells — runs sequentially in
+    the calling domain with no spawns.  [jobs <= 0] means
+    {!default_jobs}.
+
+    Results preserve input order regardless of completion order.
+
+    If one or more cells raise, the exception of the {b lowest-indexed}
+    failing cell is re-raised (with its backtrace) after all workers
+    drain, so exception behaviour is deterministic too.  Cells indexed
+    above a recorded failure may be skipped. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map_cells} over a list, preserving order. *)

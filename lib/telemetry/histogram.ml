@@ -42,9 +42,16 @@ let sum t = t.sum
 let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
 
 let[@inline] msb v =
-  (* position of the highest set bit; v >= 1 *)
-  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
-  go v 0
+  (* Position of the highest set bit (floor log2; 0 for v <= 1), by
+     binary chop: six compares instead of one shift per bit, and [record]
+     calls this once per sample. *)
+  let v = ref v and acc = ref 0 in
+  if !v >= 1 lsl 32 then begin v := !v lsr 32; acc := !acc + 32 end;
+  if !v >= 1 lsl 16 then begin v := !v lsr 16; acc := !acc + 16 end;
+  if !v >= 1 lsl 8 then begin v := !v lsr 8; acc := !acc + 8 end;
+  if !v >= 1 lsl 4 then begin v := !v lsr 4; acc := !acc + 4 end;
+  if !v >= 1 lsl 2 then begin v := !v lsr 2; acc := !acc + 2 end;
+  if !v >= 2 then !acc + 1 else !acc
 
 let[@inline] index_of_units v =
   if v < 2 * sub_count then v

@@ -51,3 +51,24 @@ let series t name =
   | None -> [||]
 
 let series_names t = List.rev t.gauge_order
+
+let merge_into ~into src =
+  List.iter
+    (fun name -> incr into name (counter src name))
+    (counter_names src);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.gauges name with
+      | None -> ()
+      | Some s ->
+          let dst =
+            match Hashtbl.find_opt into.gauges name with
+            | Some dst -> dst
+            | None ->
+                let dst = Vec.create () in
+                Hashtbl.add into.gauges name dst;
+                into.gauge_order <- name :: into.gauge_order;
+                dst
+          in
+          Vec.iter (fun p -> Vec.push dst p) s)
+    (series_names src)

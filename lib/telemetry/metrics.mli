@@ -28,4 +28,8 @@ val series : t -> string -> (float * float) array
 val series_names : t -> string list
 (** In registration order. *)
 
+val merge_into : into:t -> t -> unit
+(** Adds [src]'s counters into [into] and appends its gauge series;
+    names new to [into] keep [src]'s registration order. *)
+
 val clear : t -> unit

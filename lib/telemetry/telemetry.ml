@@ -9,12 +9,17 @@ type t = {
   metrics : Metrics.t;
 }
 
-let default = ref false
-let set_default_enabled b = default := b
-let default_enabled () = !default
+(* The process-wide default is read from every domain that creates a VM
+   (experiment cells run under Gcperf_exec.Pool), so it is an atomic; it
+   is only ever written from the main domain before a campaign starts. *)
+let default = Atomic.make false
+let set_default_enabled b = Atomic.set default b
+let default_enabled () = Atomic.get default
 
 let create ?enabled () =
-  let enabled = match enabled with Some b -> b | None -> !default in
+  let enabled =
+    match enabled with Some b -> b | None -> Atomic.get default
+  in
   {
     enabled;
     spans = Vec.create ();
@@ -24,8 +29,10 @@ let create ?enabled () =
     metrics = Metrics.create ();
   }
 
-let disabled_instance = lazy (create ~enabled:false ())
-let disabled () = Lazy.force disabled_instance
+(* Eager, not lazy: a racy [Lazy.force] from two domains raises
+   [CamlinternalLazy.Undefined], and the disabled registry is cheap. *)
+let disabled_instance = create ~enabled:false ()
+let disabled () = disabled_instance
 
 let enabled t = t.enabled
 
@@ -57,6 +64,27 @@ let kinds t = List.rev t.kind_order
 let pause_histogram t kind = Hashtbl.find_opt t.by_kind kind
 let safepoint_histogram t = t.safepoint
 let metrics t = t.metrics
+
+let merge_into ~into src =
+  Vec.iter (fun span -> Vec.push into.spans span) src.spans;
+  List.iter
+    (fun kind ->
+      match Hashtbl.find_opt src.by_kind kind with
+      | None -> ()
+      | Some h ->
+          let dst =
+            match Hashtbl.find_opt into.by_kind kind with
+            | Some dst -> dst
+            | None ->
+                let dst = Histogram.create () in
+                Hashtbl.add into.by_kind kind dst;
+                into.kind_order <- kind :: into.kind_order;
+                dst
+          in
+          Histogram.merge_into ~into:dst h)
+    (List.rev src.kind_order);
+  Histogram.merge_into ~into:into.safepoint src.safepoint;
+  Metrics.merge_into ~into:into.metrics src.metrics
 
 let clear t =
   Vec.clear t.spans;

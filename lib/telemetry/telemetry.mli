@@ -61,4 +61,13 @@ val safepoint_histogram : t -> Histogram.t
 
 val metrics : t -> Metrics.t
 
+val merge_into : into:t -> t -> unit
+(** Folds one registry into another: spans are appended in [src] order,
+    per-kind and safepoint histograms are merged bucket-wise, counters
+    are added and gauge series concatenated.  New pause kinds and metric
+    names keep [src]'s first-seen order.  Merging happens regardless of
+    either registry's [enabled] flag — it is an explicit operation used
+    to combine the per-worker sinks of a parallel campaign in
+    deterministic cell order (DESIGN.md §9). *)
+
 val clear : t -> unit

@@ -1,8 +1,33 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  (* Memoised rejection-inversion constants for the last zipf target:
+     YCSB-style workloads draw millions of samples from one (n, theta)
+     pair, and recomputing the integration bounds costs two [**] calls
+     per draw.  [zipf_n = 0] marks the cache empty. *)
+  mutable zipf_n : int;
+  mutable zipf_theta : float;
+  mutable zipf_theta_eff : float;
+  mutable zipf_omt : float; (* 1 - theta_eff *)
+  mutable zipf_inv_omt : float; (* 1 / (1 - theta_eff) *)
+  mutable zipf_hx0 : float;
+  mutable zipf_hn : float;
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = Int64.of_int seed }
+let of_state state =
+  {
+    state;
+    zipf_n = 0;
+    zipf_theta = 0.0;
+    zipf_theta_eff = 0.0;
+    zipf_omt = 0.0;
+    zipf_inv_omt = 0.0;
+    zipf_hx0 = 0.0;
+    zipf_hn = 0.0;
+  }
+
+let create seed = of_state (Int64.of_int seed)
 
 (* SplitMix64 output function: add the golden gamma, then xor-shift mix. *)
 let bits64 t =
@@ -12,11 +37,9 @@ let bits64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t =
-  let s = bits64 t in
-  { state = s }
+let split t = of_state (bits64 t)
 
-let copy t = { state = t.state }
+let copy t = of_state t.state
 
 (* Keep 62 bits so the value is non-negative in OCaml's 63-bit int. *)
 let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
@@ -78,11 +101,25 @@ let zipf t ~n ~theta =
   assert (n > 0);
   if n = 1 then 0
   else begin
-    let theta = if Float.abs (theta -. 1.0) < 1e-9 then 1.0 +. 1e-6 else theta in
-    let h x = ((x ** (1.0 -. theta)) -. 1.0) /. (1.0 -. theta) in
-    let h_inv x = ((1.0 +. (x *. (1.0 -. theta))) ** (1.0 /. (1.0 -. theta))) in
-    let hx0 = h 0.5 -. 1.0 in
-    let hn = h (float_of_int n +. 0.5) in
+    if t.zipf_n <> n || t.zipf_theta <> theta then begin
+      let eff =
+        if Float.abs (theta -. 1.0) < 1e-9 then 1.0 +. 1e-6 else theta
+      in
+      let omt = 1.0 -. eff in
+      let h x = ((x ** omt) -. 1.0) /. omt in
+      t.zipf_n <- n;
+      t.zipf_theta <- theta;
+      t.zipf_theta_eff <- eff;
+      t.zipf_omt <- omt;
+      t.zipf_inv_omt <- 1.0 /. omt;
+      t.zipf_hx0 <- h 0.5 -. 1.0;
+      t.zipf_hn <- h (float_of_int n +. 0.5)
+    end;
+    let theta = t.zipf_theta_eff and omt = t.zipf_omt in
+    let h x = ((x ** omt) -. 1.0) /. omt in
+    let h_inv x = (1.0 +. (x *. omt)) ** t.zipf_inv_omt in
+    let hx0 = t.zipf_hx0 in
+    let hn = t.zipf_hn in
     let rec draw () =
       let u = hx0 +. (unit_float t *. (hn -. hx0)) in
       let x = h_inv u in

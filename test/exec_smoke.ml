@@ -1,0 +1,19 @@
+(* Smoke binary for `dune build @exec-smoke`: regenerate table2 at CI
+   scope sequentially and through two worker domains, and fail loudly if
+   the artifacts differ by a single byte. *)
+
+let () =
+  let scope = Gcperf.Scope.ci in
+  let render jobs =
+    match Gcperf.Experiments.artifact ~scope ~jobs "table2" with
+    | Some a -> Gcperf.Artifact.render a `Json
+    | None -> failwith "table2 artifact missing"
+  in
+  let sequential = render 1 in
+  let parallel = render 2 in
+  if String.equal sequential parallel then
+    print_endline "exec-smoke: table2 byte-identical at jobs=1 and jobs=2"
+  else begin
+    prerr_endline "exec-smoke: parallel artifact diverged from sequential";
+    exit 1
+  end
