@@ -10,9 +10,12 @@
      collection, concurrent cycle, client generation) so regressions in
      the simulator itself are visible independently of the campaigns.
 
+   Plus "policy" (adaptive-sizing overhead against the fixed baseline)
+   and "exec" (worker-pool fan-out).
+
    Options:
 
-   - [--only micro,exec,paper,server] restricts the groups that run;
+   - [--only micro,policy,exec,paper,server] restricts the groups that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
      list of [{"name": ..., "ns_per_run": ...}] records (the perf
@@ -194,6 +197,39 @@ let micro_tests =
        Staged.stage (fun () -> ignore (Gcperf_stats.Stats.latency_report pts)));
   ]
 
+(* --- policy: adaptive sizing overhead --------------------------------- *)
+
+(* The pair bounds the ergonomics tax on the collection path: the same
+   allocation-heavy loop through [Vm.step], once with the fixed-size
+   default and once with [-XX:+UseAdaptiveSizePolicy] attached.  The
+   delta is the per-safepoint cost of observe/decide/apply plus whatever
+   resizes the policy actually issues while converging. *)
+let policy_vm ~adaptive =
+  let cfg =
+    Gc_config.default Gc_config.ParallelOld ~heap_bytes:(256 * mb)
+      ~young_bytes:(64 * mb)
+  in
+  let vm = Vm.create machine { cfg with Gc_config.adaptive } ~seed:7 in
+  let th = Vm.spawn_thread vm in
+  (vm, th)
+
+let policy_step (vm, th) =
+  for _ = 1 to 100 do
+    let id = Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent in
+    Vm.drop_root vm th id
+  done;
+  Vm.step vm ~dt_us:1000.0 (fun _ -> ())
+
+let policy_tests =
+  [
+    Test.make ~name:"step-fixed"
+      (let h = policy_vm ~adaptive:false in
+       Staged.stage (fun () -> policy_step h));
+    Test.make ~name:"step-adaptive"
+      (let h = policy_vm ~adaptive:true in
+       Staged.stage (fun () -> policy_step h));
+  ]
+
 (* --- exec: the worker pool ------------------------------------------- *)
 
 module Pool = Gcperf_exec.Pool
@@ -302,7 +338,7 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only micro,exec,paper,server] [--quota SECONDS] \
+    "usage: main.exe [--only micro,policy,exec,paper,server] [--quota SECONDS] \
      [--limit RUNS] [--json PATH]";
   exit 2
 
@@ -353,6 +389,8 @@ let () =
   in
   run_group "micro" "micro (simulator primitives)" micro_tests ~quota_s:0.5
     ~lim:500;
+  run_group "policy" "policy (adaptive sizing overhead)" policy_tests
+    ~quota_s:0.5 ~lim:500;
   run_group "exec" "exec (worker pool fan-out)" exec_tests ~quota_s:0.5
     ~lim:50;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0

@@ -4,8 +4,10 @@
    table or figure of the paper (text, CSV or JSON), `gcperf trace
    <collector>` runs a benchmark with telemetry on and dumps the pause
    spans plus percentile summaries, `gcperf bench <name>` runs a single
-   DaCapo-like benchmark under a chosen collector, and `gcperf suite`
-   prints the benchmark descriptions. *)
+   DaCapo-like benchmark under a chosen collector, `gcperf tune
+   <collector>` searches for sizes that meet a pause goal and prints the
+   matching JVM flags, and `gcperf suite` prints the benchmark
+   descriptions. *)
 
 open Cmdliner
 module Telemetry = Gcperf_telemetry.Telemetry
@@ -59,6 +61,43 @@ let emit out text =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+let did_you_mean = Gcperf_util.Fuzzy.did_you_mean
+
+(* Every user-supplied configuration goes through [Gc_config.validate]
+   before it reaches the simulator, so a bad flag combination dies with
+   the JVM flag to fix instead of an exception deep inside a run.
+   [Gc_config.default] asserts young <= heap on its own; building through
+   a thunk lets us turn that assertion into the same actionable error. *)
+let validated build =
+  match
+    match build () with
+    | config -> Gcperf_gc.Gc_config.validate config
+    | exception Invalid_argument _ ->
+        Error
+          "young generation (-Xmn) must be smaller than the heap (-Xmx); \
+           leave room for the old generation"
+  with
+  | Ok config -> config
+  | Error msg ->
+      Printf.eprintf "invalid configuration: %s\n" msg;
+      exit 1
+
+let resolve_collector name =
+  match Gcperf_gc.Gc_config.kind_of_string name with
+  | Some k -> k
+  | None ->
+      Printf.eprintf "unknown collector %S%s\n" name
+        (did_you_mean ~candidates:Gcperf_gc.Gc_config.kind_names name);
+      exit 1
+
+let resolve_bench name =
+  match Gcperf_dacapo.Suite.find name with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "unknown benchmark %S%s; try `gcperf suite`\n" name
+        (did_you_mean ~candidates:Gcperf_dacapo.Suite.names name);
+      exit 1
+
 (* --- list ---------------------------------------------------------- *)
 
 let list_cmd =
@@ -99,7 +138,8 @@ let run_cmd =
     let format = parse_format format in
     match Gcperf.Experiments.artifact ~scope ?jobs id with
     | None ->
-        Printf.eprintf "unknown experiment %S; try `gcperf list`\n" id;
+        Printf.eprintf "unknown experiment %S%s; try `gcperf list`\n" id
+          (did_you_mean ~candidates:Gcperf.Experiments.all_names id);
         exit 1
     | Some artifact -> emit out (Gcperf.Artifact.render artifact format)
   in
@@ -155,23 +195,9 @@ let trace_cmd =
   let run collector bench heap young iterations format jobs out =
     let kinds =
       if collector = "all" then Gcperf.Exp_common.all_kinds
-      else
-        List.map
-          (fun c ->
-            match Gcperf_gc.Gc_config.kind_of_string c with
-            | Some k -> k
-            | None ->
-                Printf.eprintf "unknown collector %S\n" c;
-                exit 1)
-          (String.split_on_char ',' collector)
+      else List.map resolve_collector (String.split_on_char ',' collector)
     in
-    let b =
-      match Gcperf_dacapo.Suite.find bench with
-      | Some b -> b
-      | None ->
-          Printf.eprintf "unknown benchmark %S; try `gcperf suite`\n" bench;
-          exit 1
-    in
+    let b = resolve_bench bench in
     let render =
       match format with
       | "jsonl" -> Sink.trace_jsonl
@@ -185,17 +211,23 @@ let trace_cmd =
     in
     let mb = 1024 * 1024 in
     let machine = Gcperf_machine.Machine.paper_server () in
+    (* Validate on the orchestrating domain, before any fan-out. *)
+    let configs =
+      List.map
+        (fun kind ->
+          ( kind,
+            validated (fun () ->
+                Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
+                  ~young_bytes:(young * mb)) ))
+        kinds
+    in
     (* One traced run per collector; each cell owns its VM and its
        telemetry registry, so the runs fan out over the pool and the
        per-cell dumps stay independent. *)
     let jobs = Option.value jobs ~default:(Gcperf.Exp_common.default_jobs ()) in
     let traced =
       Gcperf.Exp_common.Pool.map_list ~jobs
-        (fun kind ->
-          let gc =
-            Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
-              ~young_bytes:(young * mb)
-          in
+        (fun (kind, gc) ->
           (* The registry is explicitly enabled here; everywhere else the
              process-wide default (off) applies, so experiments never pay
              for tracing they do not read. *)
@@ -205,7 +237,7 @@ let trace_cmd =
               ~system_gc:false ()
           in
           (kind, telemetry, r.Gcperf_dacapo.Harness.crashed))
-        kinds
+        configs
     in
     List.iter
       (fun (_, _, crashed) ->
@@ -273,32 +305,41 @@ let bench_cmd =
   let tlab_off_arg =
     Arg.(value & flag & info [ "no-tlab" ] ~doc:"Disable TLABs.")
   in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:
+            "Attach the adaptive sizing policy \
+             ($(b,-XX:+UseAdaptiveSizePolicy)): the young generation, \
+             survivor ratio and tenuring threshold follow the pause and \
+             throughput goals instead of staying fixed.")
+  in
+  let pause_goal_arg =
+    let doc =
+      "Pause goal in milliseconds for $(b,--adaptive) \
+       ($(b,-XX:MaxGCPauseMillis))."
+    in
+    Arg.(value & opt float 200.0 & info [ "pause-goal" ] ~docv:"MS" ~doc)
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every GC event.")
   in
-  let run bench gc heap young iterations system_gc no_tlab verbose =
-    let kind =
-      match Gcperf_gc.Gc_config.kind_of_string gc with
-      | Some k -> k
-      | None ->
-          Printf.eprintf "unknown collector %S\n" gc;
-          exit 1
-    in
-    let b =
-      match Gcperf_dacapo.Suite.find bench with
-      | Some b -> b
-      | None ->
-          Printf.eprintf "unknown benchmark %S; try `gcperf suite`\n" bench;
-          exit 1
-    in
+  let run bench gc heap young iterations system_gc no_tlab adaptive pause_goal
+      verbose =
+    let kind = resolve_collector gc in
+    let b = resolve_bench bench in
     let mb = 1024 * 1024 in
     let config =
-      {
-        (Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
-           ~young_bytes:(young * mb))
-        with
-        Gcperf_gc.Gc_config.tlab = not no_tlab;
-      }
+      validated (fun () ->
+          {
+            (Gcperf_gc.Gc_config.default kind ~heap_bytes:(heap * mb)
+               ~young_bytes:(young * mb))
+            with
+            Gcperf_gc.Gc_config.tlab = not no_tlab;
+            adaptive;
+            pause_goal_ms = pause_goal;
+          })
     in
     let machine = Gcperf_machine.Machine.paper_server () in
     let r =
@@ -338,7 +379,51 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ bench_arg $ gc_arg $ heap_arg $ young_arg $ iterations_arg
-      $ sysgc_arg $ tlab_off_arg $ verbose_arg)
+      $ sysgc_arg $ tlab_off_arg $ adaptive_arg $ pause_goal_arg
+      $ verbose_arg)
+
+(* --- tune ---------------------------------------------------------- *)
+
+let tune_cmd =
+  let doc =
+    "Advise heap and young-generation sizes for a collector: search a \
+     (heap, young) grid for the configuration that meets the pause goal \
+     with the best throughput, refine it with the adaptive sizing \
+     policy, and print the equivalent JVM flags."
+  in
+  let collector_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"COLLECTOR"
+          ~doc:"Collector: serial, parnew, parallel, parallelold, cms, g1.")
+  in
+  let bench_arg =
+    let doc = "DaCapo-like benchmark to tune against." in
+    Arg.(value & opt string "xalan" & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+  in
+  let pause_goal_arg =
+    let doc = "Pause goal in milliseconds ($(b,-XX:MaxGCPauseMillis))." in
+    Arg.(value & opt float 200.0 & info [ "pause-goal" ] ~docv:"MS" ~doc)
+  in
+  let run collector bench pause_goal quick scope jobs out =
+    let scope = resolve_scope quick scope in
+    let kind = resolve_collector collector in
+    let b = resolve_bench bench in
+    if pause_goal <= 0.0 then begin
+      Printf.eprintf "pause goal must be positive (got %g ms)\n" pause_goal;
+      exit 1
+    end;
+    let r =
+      Gcperf.Tune.run_scope ~scope ?jobs ~pause_goal_ms:pause_goal ~bench:b
+        kind
+    in
+    emit out (Gcperf.Tune.render r)
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      const run $ collector_arg $ bench_arg $ pause_goal_arg $ quick_arg
+      $ scope_arg $ jobs_arg $ out_arg)
 
 (* --- suite --------------------------------------------------------- *)
 
@@ -375,6 +460,7 @@ let all_cmd =
 let main =
   let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in
   let info = Cmd.info "gcperf" ~version:"1.0.0" ~doc in
-  Cmd.group info [ list_cmd; run_cmd; trace_cmd; bench_cmd; suite_cmd; all_cmd ]
+  Cmd.group info
+    [ list_cmd; run_cmd; trace_cmd; bench_cmd; tune_cmd; suite_cmd; all_cmd ]
 
 let () = exit (Cmd.eval main)

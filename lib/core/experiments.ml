@@ -387,6 +387,78 @@ let ablation_artifact ~scope ?jobs () =
     ~rows
     ~render_text:(fun () -> Exp_ablation.render r)
 
+let ergonomics_artifact ~scope ?jobs () =
+  let r = Exp_ergonomics.run_scope ~scope ?jobs () in
+  let summary_row (c : Exp_ergonomics.cell) =
+    let s = c.Exp_ergonomics.stats in
+    A.
+      [
+        Text "summary";
+        Text c.Exp_ergonomics.gc;
+        Int c.heap_bytes;
+        Text (if c.adaptive then "adaptive" else "fixed");
+        Int s.Exp_ergonomics.minor_pauses;
+        Int s.Exp_ergonomics.final_young_bytes;
+        Float s.Exp_ergonomics.max_pause_ms;
+        Float s.Exp_ergonomics.avg_minor_ms;
+        Float s.Exp_ergonomics.p99_minor_ms;
+        Float s.Exp_ergonomics.trailing_p99_ms;
+        Float s.Exp_ergonomics.total_s;
+        Int s.Exp_ergonomics.resizes;
+        Bool c.within_goal;
+      ]
+  in
+  let trajectory_rows (c : Exp_ergonomics.cell) =
+    List.map
+      (fun (p : Gcperf_policy.Policy.trajectory_point) ->
+        A.
+          [
+            Text "trajectory";
+            Text c.Exp_ergonomics.gc;
+            Int c.heap_bytes;
+            Text "adaptive";
+            Int p.Gcperf_policy.Policy.at_collection;
+            Int p.young_bytes_now;
+            Float p.observed_pause_ms;
+            Float p.avg_pause_ms;
+            Float 0.0;
+            Float 0.0;
+            Float 0.0;
+            Int 0;
+            Bool false;
+          ])
+      c.Exp_ergonomics.stats.Exp_ergonomics.trajectory
+  in
+  A.make ~name:"ergonomics"
+    ~title:"Ergonomics: fixed vs adaptive sizing with convergence trajectory"
+    ~params:
+      (scope_params scope
+      @ [
+          ("bench", r.Exp_ergonomics.bench);
+          ("pause_goal_ms", Printf.sprintf "%g" r.Exp_ergonomics.pause_goal_ms);
+        ])
+    ~columns:
+      [
+        "row_kind";
+        "gc";
+        "heap_bytes";
+        "mode";
+        "collection";
+        "young_bytes";
+        "pause_ms";
+        "avg_pause_ms";
+        "p99_ms";
+        "tail_p99_ms";
+        "total_s";
+        "resizes";
+        "within_goal";
+      ]
+    ~rows:
+      (List.concat_map
+         (fun c -> summary_row c :: trajectory_rows c)
+         r.Exp_ergonomics.cells)
+    ~render_text:(fun () -> Exp_ergonomics.render r)
+
 let artifacts =
   [
     ("table2", table2_artifact);
@@ -401,6 +473,7 @@ let artifacts =
     ("table8", table8_artifact);
     ("server-po", server_po_artifact);
     ("ablation", ablation_artifact);
+    ("ergonomics", ergonomics_artifact);
   ]
 
 let all_names = List.map fst artifacts

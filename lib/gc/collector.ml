@@ -12,6 +12,7 @@ type t = {
   heap_capacity : unit -> int;
   young_used : unit -> int;
   old_used : unit -> int;
+  apply_policy : unit -> unit;
   store : Gcperf_heap.Obj_store.t;
   check_invariants : unit -> (unit, string) result;
 }

@@ -35,6 +35,11 @@ type t = {
   young_used : unit -> int;
   old_used : unit -> int;
       (** for G1: old + humongous regions *)
+  apply_policy : unit -> unit;
+      (** Consume the pending ergonomics decision, if any, and resize the
+          heap layout within its occupancy constraints.  Called by the
+          runtime only at safepoints ([Vm.step] quantum boundaries); a
+          no-op when no policy is attached. *)
   store : Gcperf_heap.Obj_store.t;
   check_invariants : unit -> (unit, string) result;
 }

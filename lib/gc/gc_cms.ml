@@ -193,9 +193,10 @@ let create ctx (config : Gc_config.t) =
     | exception Gen_algo.Promotion_failure -> concurrent_mode_failure ());
     maybe_start_cycle ()
   in
-  let eden_cap = heap.Gh.eden_cap in
   let alloc ~size =
-    if size > eden_cap then begin
+    (* [eden_cap] is read per allocation: the adaptive sizing policy can
+       move it between safepoints. *)
+    if size > heap.Gh.eden_cap then begin
       match Gh.alloc_old_direct heap ~size with
       | Some id ->
           maybe_start_cycle ();
@@ -287,6 +288,7 @@ let create ctx (config : Gc_config.t) =
                  (Printf.sprintf "%s: old generation exhausted (%d bytes)" name
                     size)))
   in
+  Policy_hooks.install_gen_capacity ctx heap;
   {
     Collector.name;
     kind = Gc_config.Cms;
@@ -301,6 +303,7 @@ let create ctx (config : Gc_config.t) =
     heap_capacity = (fun () -> heap.Gh.heap_bytes);
     young_used = (fun () -> Gh.young_used heap);
     old_used = (fun () -> heap.Gh.old_used);
+    apply_policy = Policy_hooks.gen_heap_hook ctx heap ~collector:name;
     store;
     check_invariants = (fun () -> Gh.check_invariants heap);
   }

@@ -21,6 +21,10 @@ let kind_of_string s =
   | "g1" | "g1gc" -> Some G1
   | _ -> None
 
+let kind_names =
+  List.map kind_to_string all_kinds
+  @ [ "serial"; "parnew"; "parallel"; "parallelold"; "cms"; "g1" ]
+
 type t = {
   kind : kind;
   heap_bytes : int;
@@ -34,6 +38,9 @@ type t = {
   g1_pause_target_ms : float;
   g1_region_target : int;
   g1_parallel_full : bool;
+  adaptive : bool;
+  pause_goal_ms : float;
+  gc_time_ratio : int;
 }
 
 let kb = 1024
@@ -56,12 +63,79 @@ let default kind ~heap_bytes ~young_bytes =
     g1_pause_target_ms = 200.0;
     g1_region_target = 1024;
     g1_parallel_full = false;
+    adaptive = false;
+    pause_goal_ms = 200.0;
+    gc_time_ratio = 99;
   }
 
 (* The study's baseline: ParallelOld defaults on the 64 GB machine —
    ~16 GB max heap, ~5.6 GB young generation. *)
 let baseline kind =
   default kind ~heap_bytes:(gb 16) ~young_bytes:(mb 5734)
+
+let mb_of b = b / (1024 * 1024)
+
+(* One error at a time, phrased like the JVM flag the field mirrors so
+   the message tells the user which knob to turn. *)
+let validate t =
+  if t.heap_bytes <= 0 then
+    Error
+      (Printf.sprintf "heap size must be positive (-Xmx), got %d bytes"
+         t.heap_bytes)
+  else if t.young_bytes <= 0 then
+    Error
+      (Printf.sprintf
+         "young generation size must be positive (-Xmn), got %d bytes"
+         t.young_bytes)
+  else if t.young_bytes >= t.heap_bytes then
+    Error
+      (Printf.sprintf
+         "young generation (-Xmn %dMB) must be smaller than the heap (-Xmx \
+          %dMB); leave room for the old generation"
+         (mb_of t.young_bytes) (mb_of t.heap_bytes))
+  else if t.survivor_ratio < 1 then
+    Error
+      (Printf.sprintf
+         "survivor ratio (-XX:SurvivorRatio) must be >= 1, got %d"
+         t.survivor_ratio)
+  else if t.tlab && t.tlab_bytes <= 0 then
+    Error
+      (Printf.sprintf
+         "TLAB size (-XX:TLABSize) must be positive when TLABs are enabled, \
+          got %d bytes"
+         t.tlab_bytes)
+  else if t.tenuring_threshold < 1 || t.tenuring_threshold > 15 then
+    Error
+      (Printf.sprintf
+         "tenuring threshold (-XX:MaxTenuringThreshold) must be in 1..15, \
+          got %d"
+         t.tenuring_threshold)
+  else if t.cms_initiating_occupancy <= 0.0 || t.cms_initiating_occupancy > 1.0
+  then
+    Error
+      (Printf.sprintf
+         "CMS initiating occupancy must be a fraction in (0, 1], got %g"
+         t.cms_initiating_occupancy)
+  else if t.g1_ihop <= 0.0 || t.g1_ihop > 1.0 then
+    Error
+      (Printf.sprintf
+         "G1 IHOP (-XX:InitiatingHeapOccupancyPercent) must be a fraction \
+          in (0, 1], got %g"
+         t.g1_ihop)
+  else if t.g1_region_target < 1 then
+    Error
+      (Printf.sprintf "G1 region target must be >= 1, got %d"
+         t.g1_region_target)
+  else if t.pause_goal_ms <= 0.0 then
+    Error
+      (Printf.sprintf
+         "pause goal (-XX:MaxGCPauseMillis) must be positive, got %g ms"
+         t.pause_goal_ms)
+  else if t.gc_time_ratio < 1 then
+    Error
+      (Printf.sprintf "GC time ratio (-XX:GCTimeRatio) must be >= 1, got %d"
+         t.gc_time_ratio)
+  else Ok t
 
 let pp ppf t =
   Format.fprintf ppf "%s heap=%dMB young=%dMB tlab=%b"

@@ -14,7 +14,12 @@ val kind_to_string : kind -> string
 (** JVM-style names: "SerialGC", "ParNewGC", ..., "G1GC". *)
 
 val kind_of_string : string -> kind option
-(** Accepts both JVM-style ("ConcMarkSweepGC") and short ("cms") names. *)
+(** Accepts both JVM-style ("ConcMarkSweepGC") and short ("cms") names,
+    case-insensitively. *)
+
+val kind_names : string list
+(** Every spelling {!kind_of_string}'s canonical forms accept (JVM-style
+    and short), for "did you mean" suggestions. *)
 
 type t = {
   kind : kind;
@@ -33,6 +38,16 @@ type t = {
       (** ablation switch: run G1's full collection on the parallel
           workers instead of JDK8's single thread (JDK10's behaviour);
           default false, i.e. faithful to the paper's JVM *)
+  adaptive : bool;
+      (** [-XX:+UseAdaptiveSizePolicy]: attach the ergonomics policy that
+          resizes the young generation at safepoints.  Default false —
+          the study disables it, and fixed-size runs are byte-identical
+          with or without the policy subsystem built in. *)
+  pause_goal_ms : float;
+      (** [-XX:MaxGCPauseMillis] for the adaptive policy (and G1) *)
+  gc_time_ratio : int;
+      (** [-XX:GCTimeRatio]: the throughput goal tolerates a GC cost of
+          [1 / (1 + ratio)] *)
 }
 
 val default : kind -> heap_bytes:int -> young_bytes:int -> t
@@ -46,5 +61,12 @@ val mb : int -> int
 val baseline : kind -> t
 (** The study's baseline: ~16 GB heap, ~5.6 GB young generation, TLAB
     enabled. *)
+
+val validate : t -> (t, string) result
+(** Rejects configurations that would only fail deep inside the simulator
+    (young >= heap, survivor ratio < 1, non-positive TLAB, out-of-range
+    thresholds and fractions) with an actionable message naming the JVM
+    flag to fix.  The CLI funnels every user-supplied configuration
+    through this. *)
 
 val pp : Format.formatter -> t -> unit

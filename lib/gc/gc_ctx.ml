@@ -1,5 +1,6 @@
 module Telemetry = Gcperf_telemetry.Telemetry
 module Span = Gcperf_telemetry.Span
+module Policy = Gcperf_policy.Policy
 
 exception Out_of_memory of string
 
@@ -10,6 +11,11 @@ type t = {
   telemetry : Telemetry.t;
   mutable mutator_threads : int;
   mutable iter_roots : (int -> unit) -> unit;
+  mutable policy : Policy.t option;
+  mutable survivor_overflow : bool;
+  mutable last_pause_end_us : float;
+  mutable young_capacity : unit -> int;
+  mutable heap_capacity : unit -> int;
 }
 
 let create ?telemetry machine clock events =
@@ -23,6 +29,11 @@ let create ?telemetry machine clock events =
     telemetry;
     mutator_threads = 1;
     iter_roots = (fun _ -> ());
+    policy = None;
+    survivor_overflow = false;
+    last_pause_end_us = 0.0;
+    young_capacity = (fun () -> 0);
+    heap_capacity = (fun () -> 0);
   }
 
 let stw_begin_us t =
@@ -65,4 +76,37 @@ let record_pause t ~collector ~kind ~reason ~phases ~duration_us
     Telemetry.incr t.telemetry "gc.pause_us_total" duration_us;
     Telemetry.incr t.telemetry "gc.promoted_bytes_total"
       (float_of_int promoted)
-  end
+  end;
+  (* Ergonomics hook: every stop-the-world pause, from all six collectors,
+     funnels through here, so one observation call covers them all.  With
+     no policy attached this is a single branch — the fixed-size paths
+     stay byte-identical. *)
+  match t.policy with
+  | None -> ()
+  | Some p ->
+      let pause_class =
+        match kind with
+        | Gcperf_sim.Gc_event.Young | Gcperf_sim.Gc_event.Mixed ->
+            Policy.Minor
+        | Gcperf_sim.Gc_event.Full -> Policy.Major
+        | Gcperf_sim.Gc_event.Initial_mark | Gcperf_sim.Gc_event.Remark
+        | Gcperf_sim.Gc_event.Cleanup ->
+            Policy.Concurrent
+      in
+      let interval_ms =
+        Float.max 0.0 ((start_us -. t.last_pause_end_us) /. 1000.0)
+      in
+      p.Policy.observe
+        {
+          Policy.pause_class;
+          pause_ms = duration_us /. 1000.0;
+          interval_ms;
+          promoted_bytes = promoted;
+          survived_bytes = young_after;
+          survivor_overflow = t.survivor_overflow;
+          young_capacity = t.young_capacity ();
+          heap_used = young_after + old_after;
+          heap_capacity = t.heap_capacity ();
+        };
+      t.survivor_overflow <- false;
+      t.last_pause_end_us <- Gcperf_sim.Clock.now_us t.clock

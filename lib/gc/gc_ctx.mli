@@ -20,6 +20,22 @@ type t = {
   mutable iter_roots : (int -> unit) -> unit;
       (** iterate over all root object ids (thread stacks + globals);
           installed by the runtime *)
+  mutable policy : Gcperf_policy.Policy.t option;
+      (** ergonomics policy fed one observation per pause by
+          {!record_pause}; [None] (the default) is the fixed-size
+          configuration and is byte-identical to builds without the
+          policy subsystem *)
+  mutable survivor_overflow : bool;
+      (** set by the collection algorithms when an object was promoted
+          early because the survivor space could not hold it; consumed
+          (and cleared) by the next policy observation *)
+  mutable last_pause_end_us : float;
+      (** end of the previous observed pause, for the mutator-interval
+          signal; only maintained while a policy is attached *)
+  mutable young_capacity : unit -> int;
+      (** current young-generation capacity; installed by the collector *)
+  mutable heap_capacity : unit -> int;
+      (** total committed heap; installed by the collector *)
 }
 
 val create :

@@ -13,7 +13,6 @@ type state = {
       (* one concurrent cycle per young collection: prevents back-to-back
          cycles when occupancy stays above the threshold *)
   mutable mixed_candidates : int list;  (* region indices, most garbage first *)
-  mutable young_target_bytes : int;
   mutable eden_bytes : int;  (* bytes allocated young since last collection *)
   mutable young_collections : int;
   mutable mixed_collections : int;
@@ -38,7 +37,7 @@ let debug_stats (c : Collector.t) =
     mixed_collections = st.mixed_collections;
     marking_cycles = st.marking_cycles;
     evacuation_failures = st.evacuation_failures;
-    young_target_regions = st.young_target_bytes / rheap.Rh.region_size;
+    young_target_regions = rheap.Rh.young_target_bytes / rheap.Rh.region_size;
   }
 
 let name = "G1GC"
@@ -55,13 +54,15 @@ let create ctx (config : Gc_config.t) =
     Rh.create store ~heap_bytes:config.Gc_config.heap_bytes
       ~target_regions:config.Gc_config.g1_region_target ()
   in
+  rheap.Rh.young_target_bytes <-
+    max rheap.Rh.region_size config.Gc_config.young_bytes;
+  (* Mutable so the adaptive sizing policy can promote earlier/later. *)
+  let tenuring = ref config.Gc_config.tenuring_threshold in
   let st =
     {
       phase = Idle;
       marking_allowed = true;
       mixed_candidates = [];
-      young_target_bytes =
-        max rheap.Rh.region_size config.Gc_config.young_bytes;
       eden_bytes = 0;
       young_collections = 0;
       mixed_collections = 0;
@@ -275,7 +276,7 @@ let create ctx (config : Gc_config.t) =
       (fun id ->
         let o = Os.get store id in
         (* Everything that survives a full collection is old data. *)
-        o.Os.age <- max o.Os.age config.Gc_config.tenuring_threshold;
+        o.Os.age <- max o.Os.age !tenuring;
         moved_bytes := !moved_bytes + o.Os.size;
         let rec place () =
           match !target with
@@ -472,15 +473,19 @@ let create ctx (config : Gc_config.t) =
        target; anything beyond it is promoted rather than failing the
        evacuation. *)
     let survivor_budget =
-      max rheap.Rh.region_size (st.young_target_bytes / 8)
+      max rheap.Rh.region_size (rheap.Rh.young_target_bytes / 8)
     in
     Vec.iter
       (fun id ->
         let o = Os.get store id in
         if
-          o.Os.age + 1 >= config.Gc_config.tenuring_threshold
+          o.Os.age + 1 >= !tenuring
           || !surv_bytes + o.Os.size > survivor_budget
         then begin
+          (* Promoted before reaching the threshold: survivor budget
+             overflow, the ergonomics policy's survivor-pressure signal. *)
+          if o.Os.age + 1 < !tenuring then
+            ctx.Gc_ctx.survivor_overflow <- true;
           Vec.push prom id;
           prom_bytes := !prom_bytes + o.Os.size
         end
@@ -642,7 +647,7 @@ let create ctx (config : Gc_config.t) =
       (* G1ReservePercent: keep a slice of the heap free for evacuation;
          collect early rather than risk an evacuation failure. *)
       let reserve = max 4 (Array.length rheap.Rh.regions / 10) in
-      if st.eden_bytes + size > st.young_target_bytes then
+      if st.eden_bytes + size > rheap.Rh.young_target_bytes then
         young_gc "eden target reached"
       else if
         Rh.free_regions rheap < reserve
@@ -741,6 +746,7 @@ let create ctx (config : Gc_config.t) =
         let stolen = float_of_int m.Machine.conc_gc_threads in
         cores /. Float.max 1.0 (cores -. stolen)
   in
+  Policy_hooks.install_region_capacity ctx rheap;
   {
     Collector.name;
     kind = Gc_config.G1;
@@ -755,6 +761,7 @@ let create ctx (config : Gc_config.t) =
     heap_capacity = (fun () -> rheap.Rh.heap_bytes);
     young_used;
     old_used = old_hum_used;
+    apply_policy = Policy_hooks.region_heap_hook ctx rheap ~collector:name ~tenuring;
     store;
     check_invariants = (fun () -> Rh.check_invariants rheap);
   }

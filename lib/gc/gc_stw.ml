@@ -64,11 +64,12 @@ let create ctx (config : Gc_config.t) =
     | _outcome -> ()
     | exception Gen_algo.Promotion_failure -> full "promotion failure"
   in
-  let eden_cap = heap.Gh.eden_cap in
   let alloc ~size =
     (* Objects too large for eden go straight to the old generation, as
-       HotSpot does for very large allocations. *)
-    if size > eden_cap then begin
+       HotSpot does for very large allocations.  [eden_cap] is read per
+       allocation: the adaptive sizing policy can move it between
+       safepoints. *)
+    if size > heap.Gh.eden_cap then begin
       match Gh.alloc_old_direct heap ~size with
       | Some id -> id
       | None ->
@@ -118,6 +119,7 @@ let create ctx (config : Gc_config.t) =
                  (Printf.sprintf "%s: old generation exhausted (%d bytes)" name
                     size)))
   in
+  Policy_hooks.install_gen_capacity ctx heap;
   {
     Collector.name;
     kind = config.Gc_config.kind;
@@ -132,6 +134,7 @@ let create ctx (config : Gc_config.t) =
     heap_capacity = (fun () -> heap.Gh.heap_bytes);
     young_used = (fun () -> Gh.young_used heap);
     old_used = (fun () -> heap.Gh.old_used);
+    apply_policy = Policy_hooks.gen_heap_hook ctx heap ~collector:name;
     store;
     check_invariants = (fun () -> Gh.check_invariants heap);
   }

@@ -95,6 +95,11 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
         new_age >= effective_threshold
         || !to_survivor + o.Os.size > heap.Gh.survivor_cap
       then begin
+        (* Promoted before reaching the threshold: the survivor space
+           could not hold it.  The ergonomics policy reads this as
+           survivor pressure. *)
+        if new_age < effective_threshold then
+          ctx.Gc_ctx.survivor_overflow <- true;
         to_promote := !to_promote + o.Os.size;
         Vec.push promote id
       end

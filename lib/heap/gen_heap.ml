@@ -4,10 +4,11 @@ module Bitset = Gcperf_util.Bitset
 type t = {
   store : Obj_store.t;
   heap_bytes : int;
-  young_bytes : int;
-  eden_cap : int;
-  survivor_cap : int;
-  old_cap : int;
+  mutable young_bytes : int;
+  mutable eden_cap : int;
+  mutable survivor_cap : int;
+  mutable old_cap : int;
+  mutable survivor_ratio : int;
   mutable eden_used : int;
   mutable survivor_used : int;
   mutable old_used : int;
@@ -45,6 +46,7 @@ let create store ~heap_bytes ~young_bytes ?(survivor_ratio = 8)
     eden_cap;
     survivor_cap;
     old_cap = heap_bytes - young_bytes;
+    survivor_ratio;
     eden_used = 0;
     survivor_used = 0;
     old_used = 0;
@@ -73,6 +75,38 @@ let heap_used t = young_used t + t.old_used
 let eden_free t = t.eden_cap - t.eden_used
 
 let old_free t = t.old_cap - t.old_used
+
+(* Moving the young/old boundary never moves objects: the new layout must
+   keep every currently occupied space within its (possibly smaller)
+   capacity, or the request is rounded up/refused.  Callers (the adaptive
+   sizing policy) only invoke this at safepoints, between collections. *)
+let resize_young t ~young_bytes ~survivor_ratio =
+  let ratio = max 1 survivor_ratio in
+  (* Smallest young size whose survivor and eden halves still cover the
+     current occupancy: survivor_cap = y/(ratio+2) >= survivor_used and
+     eden_cap = y - 2*survivor_cap >= eden_used. *)
+  let min_for_survivor = t.survivor_used * (ratio + 2) in
+  let min_for_eden =
+    (* eden_cap >= y * ratio/(ratio+2) - 2, so this bound is sufficient *)
+    ((t.eden_used + 2) * (ratio + 2) / ratio) + 1
+  in
+  let y = max young_bytes (max min_for_survivor min_for_eden) in
+  let y = min y (t.heap_bytes - t.old_used) in
+  let survivor_cap = y / (ratio + 2) in
+  let eden_cap = y - (2 * survivor_cap) in
+  if
+    y <= 0 || eden_cap < t.eden_used
+    || survivor_cap < t.survivor_used
+    || t.heap_bytes - y < t.old_used
+  then (t.young_bytes, t.survivor_ratio)
+  else begin
+    t.young_bytes <- y;
+    t.survivor_ratio <- ratio;
+    t.eden_cap <- eden_cap;
+    t.survivor_cap <- survivor_cap;
+    t.old_cap <- t.heap_bytes - y;
+    (y, ratio)
+  end
 
 (* Option-free variant for the per-allocation hot path: [-1] means eden
    cannot fit the object.  [alloc_eden] keeps the option interface for

@@ -22,10 +22,11 @@
 type t = {
   store : Obj_store.t;
   heap_bytes : int;  (** total committed heap *)
-  young_bytes : int;  (** eden + both survivor spaces *)
-  eden_cap : int;
-  survivor_cap : int;  (** capacity of one survivor space *)
-  old_cap : int;
+  mutable young_bytes : int;  (** eden + both survivor spaces *)
+  mutable eden_cap : int;
+  mutable survivor_cap : int;  (** capacity of one survivor space *)
+  mutable old_cap : int;
+  mutable survivor_ratio : int;  (** eden/survivor ratio of the current layout *)
   mutable eden_used : int;
   mutable survivor_used : int;  (** occupancy of the from-space *)
   mutable old_used : int;
@@ -86,6 +87,15 @@ val heap_used : t -> int
 val eden_free : t -> int
 
 val old_free : t -> int
+
+val resize_young : t -> young_bytes:int -> survivor_ratio:int -> int * int
+(** Moves the young/old boundary and survivor split without moving any
+    object: the request is rounded up until the current eden, survivor and
+    old occupancy all still fit their new capacities (and refused outright
+    if no such layout exists, leaving the heap unchanged).  Returns the
+    [(young_bytes, survivor_ratio)] actually in effect afterwards.  Only
+    safe between collections — the adaptive sizing policy calls it at
+    safepoints. *)
 
 val alloc_eden : t -> size:int -> int option
 (** Bump allocation in eden; [None] on allocation failure (eden full). *)

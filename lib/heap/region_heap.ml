@@ -19,6 +19,7 @@ type t = {
   regions : region array;
   mutable current_alloc : int;
   mutable free_count : int;
+  mutable young_target_bytes : int;
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
 }
@@ -73,9 +74,25 @@ let create store ~heap_bytes ?(target_regions = 1024) () =
     regions;
     current_alloc = -1;
     free_count = n;
+    young_target_bytes = region_size;
     allocated_bytes = 0;
     promoted_bytes = 0;
   }
+
+(* The young target is the adaptive knob G1 exposes: how many bytes of
+   eden accumulate before a young collection.  Clamped to [one region,
+   heap minus a small reserve] so the collector always has evacuation
+   headroom.  Returns the target actually in effect. *)
+let set_young_target t ~bytes =
+  let n = Array.length t.regions in
+  let reserve = max 2 (n / 10) in
+  let max_target = (n - reserve) * t.region_size in
+  let clamped = max t.region_size (min bytes max_target) in
+  t.young_target_bytes <- clamped;
+  clamped
+
+let young_target_regions t =
+  (t.young_target_bytes + t.region_size - 1) / t.region_size
 
 let region_of t (o : Obj_store.obj) =
   match o.loc with

@@ -32,6 +32,9 @@ type t = {
   mutable free_count : int;
       (** number of [Free] regions, maintained incrementally so
           {!free_regions} is O(1) on the allocation path *)
+  mutable young_target_bytes : int;
+      (** eden bytes that accumulate before a young collection — the knob
+          the adaptive sizing policy turns; owned by the G1 collector *)
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
 }
@@ -50,6 +53,14 @@ val used_of_kind : t -> region_kind -> int
 val free_regions : t -> int
 
 val heap_used : t -> int
+
+val set_young_target : t -> bytes:int -> int
+(** Adjusts {!t.young_target_bytes}, clamped to [one region size, heap
+    minus an evacuation reserve of max(2, regions/10) regions].  Returns
+    the target actually in effect. *)
+
+val young_target_regions : t -> int
+(** The current young target expressed in regions (rounded up). *)
 
 val take_free_region : t -> region_kind -> region option
 (** Claims a free region for the given role. *)

@@ -74,6 +74,7 @@ let events t = t.events
 let collector t = t.collector
 let config t = t.config
 let telemetry t = t.ctx.Gc_ctx.telemetry
+let policy t = t.ctx.Gc_ctx.policy
 let now_s t = Clock.now_s t.clock
 let allocated_bytes t = t.allocated
 
@@ -197,6 +198,11 @@ let step t ~dt_us f =
   Clock.advance_us t.clock ((dt_us *. factor) +. alloc_overhead);
   process_deaths t;
   t.collector.Collector.tick ~dt_us;
+  (* Safepoint: the quantum boundary is the only place ergonomics
+     decisions are applied.  Collections inside the quantum may have left
+     a pending decision; consuming it here (never mid-allocation) keeps
+     runs deterministic and byte-identical across worker counts. *)
+  t.collector.Collector.apply_policy ();
   (* Per-quantum gauges: pure observation after all state transitions of
      the quantum, so sampling cannot perturb the run. *)
   let tel = t.ctx.Gc_ctx.telemetry in

@@ -50,6 +50,11 @@ val telemetry : t -> Gcperf_telemetry.Telemetry.t
     enabled, every {!step} samples heap/young/old occupancy, the
     allocation rate and cumulative promoted bytes. *)
 
+val policy : t -> Gcperf_policy.Policy.t option
+(** The ergonomics policy attached by the collector registry when the
+    configuration has [adaptive = true]; [None] on fixed-size runs.
+    Exposes live stats and the convergence trajectory. *)
+
 val now_s : t -> float
 val allocated_bytes : t -> int
 

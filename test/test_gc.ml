@@ -265,6 +265,67 @@ let test_cms_concurrent_mode_failure () =
     || Gcperf_gc.Gc_cms.(debug_stats (Vm.collector vm)).concurrent_mode_failures
        >= 1)
 
+(* Failure accounting: with a tiny old generation every promotion burst
+   hits [Gen_algo.Promotion_failure], and the fallback must be visible
+   both in the collector's debug counters and in the emitted pause
+   causes — this is what the paper's pause-cause tables key off. *)
+let test_cms_failure_accounting () =
+  let config =
+    Gc_config.default Gc_config.Cms ~heap_bytes:(24 * mb)
+      ~young_bytes:(16 * mb)
+  in
+  let vm = Vm.create machine config ~seed:21 in
+  let th = Vm.spawn_thread vm in
+  (* ~6 MB of the 8 MB old generation stays live forever. *)
+  for _ = 1 to 12 do
+    ignore (Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+  done;
+  Vm.system_gc vm;
+  (* Medium-lived clusters survive their first young collection and ask
+     for promotion the old generation cannot grant. *)
+  (try
+     for _ = 1 to 400 do
+       ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (6 * mb)));
+       Vm.step vm ~dt_us:200.0 (fun _ -> ())
+     done
+   with Gc_ctx.Out_of_memory _ -> ());
+  let stats = Gcperf_gc.Gc_cms.debug_stats (Vm.collector vm) in
+  Alcotest.(check bool) "concurrent mode failures counted" true
+    (stats.Gcperf_gc.Gc_cms.concurrent_mode_failures >= 1);
+  Alcotest.(check bool) "pause cause emitted" true
+    (List.exists
+       (fun e ->
+         Gc_event.is_full e.Gc_event.kind
+         && e.Gc_event.reason = "concurrent mode failure")
+       (Gc_event.events (Vm.events vm)))
+
+let test_g1_evacuation_failure_accounting () =
+  let config =
+    Gc_config.default Gc_config.G1 ~heap_bytes:(32 * mb) ~young_bytes:(8 * mb)
+  in
+  let vm = Vm.create machine config ~seed:22 in
+  let th = Vm.spawn_thread vm in
+  (* Pin most regions with permanent data so surviving + promoted bytes
+     of a young collection cannot find free regions to evacuate into. *)
+  (try
+     for _ = 1 to 96 do
+       ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:`Permanent)
+     done;
+     for _ = 1 to 600 do
+       ignore (Vm.alloc vm th ~size:(256 * 1024) ~lifetime:(`Bytes (4 * mb)));
+       Vm.step vm ~dt_us:200.0 (fun _ -> ())
+     done
+   with Gc_ctx.Out_of_memory _ -> ());
+  let stats = Gcperf_gc.Gc_g1.debug_stats (Vm.collector vm) in
+  Alcotest.(check bool) "evacuation failures counted" true
+    (stats.Gcperf_gc.Gc_g1.evacuation_failures >= 1);
+  Alcotest.(check bool) "pause cause emitted" true
+    (List.exists
+       (fun e ->
+         Gc_event.is_full e.Gc_event.kind
+         && e.Gc_event.reason = "evacuation failure")
+       (Gc_event.events (Vm.events vm)))
+
 let test_g1_humongous () =
   let vm = Vm.create machine (small_config Gc_config.G1) ~seed:12 in
   let th = Vm.spawn_thread vm in
@@ -601,6 +662,8 @@ let () =
             test_cms_reclaims_concurrently;
           Alcotest.test_case "concurrent mode failure" `Quick
             test_cms_concurrent_mode_failure;
+          Alcotest.test_case "failure accounting" `Quick
+            test_cms_failure_accounting;
         ] );
       ( "g1",
         [
@@ -608,6 +671,8 @@ let () =
           Alcotest.test_case "marking and mixed" `Quick test_g1_marking_and_mixed;
           Alcotest.test_case "young collections" `Quick
             test_g1_young_collections_bounded;
+          Alcotest.test_case "evacuation failure accounting" `Quick
+            test_g1_evacuation_failure_accounting;
         ] );
       ( "hot-path structures",
         [
