@@ -10,12 +10,14 @@
      collection, concurrent cycle, client generation) so regressions in
      the simulator itself are visible independently of the campaigns.
 
-   Plus "policy" (adaptive-sizing overhead against the fixed baseline)
-   and "exec" (worker-pool fan-out).
+   Plus "policy" (adaptive-sizing overhead against the fixed baseline),
+   "exec" (worker-pool fan-out) and "fault" (fault injector, degraded
+   gateway and the resilient client session).
 
    Options:
 
-   - [--only micro,policy,exec,paper,server] restricts the groups that run;
+   - [--only micro,policy,exec,fault,paper,server] restricts the groups
+     that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
      list of [{"name": ..., "ns_per_run": ...}] records (the perf
@@ -277,6 +279,55 @@ let exec_tests =
            ignore (Pool.map_cells ~jobs:4 (fun i -> i * i) cells)));
   ]
 
+(* --- fault: injector, gateway and resilient client -------------------- *)
+
+module Profile = Gcperf_fault.Profile
+module Injector = Gcperf_fault.Injector
+module Gateway = Gcperf_kvstore.Gateway
+module Resilient = Gcperf_ycsb.Resilient
+
+(* The synthetic pause timeline shared with fig5-table567-client: a 2 s
+   stop-the-world pause every 30 s. *)
+let fault_pauses =
+  Array.init 40 (fun i ->
+      let s = 10.0 +. (30.0 *. float_of_int i) in
+      (s, s +. 2.0))
+
+let fault_tests =
+  [
+    Test.make ~name:"injector-outcome"
+      (* One fault draw: four PRNG samples plus the profile compares —
+         the per-attempt tax every session request pays. *)
+      (let inj =
+         Injector.create ~profile:Profile.storm ~seed:5 ~pauses:fault_pauses
+       in
+       Staged.stage (fun () -> ignore (Injector.outcome inj)));
+    Test.make ~name:"gateway-offer-1k"
+      (* 1000 admissions through the degraded gateway, spanning several
+         pauses so shedding and fast rejection both trigger. *)
+      (Staged.stage (fun () ->
+           let gw = Gateway.create Gateway.degraded ~pauses:fault_pauses in
+           for i = 0 to 999 do
+             ignore
+               (Gateway.offer gw
+                  ~now_s:(float_of_int i *. 0.12)
+                  ~service_ms:1.0)
+           done));
+    Test.make ~name:"resilient-session-storm"
+      (* A full five-virtual-minute session under the worst profile with
+         the whole resilience stack on: the end-to-end cost of one
+         exp_faults grid cell's client side. *)
+      (let w =
+         { Gcperf_ycsb.Client.paper_workload with duration_s = 300.0 }
+       in
+       Staged.stage (fun () ->
+           ignore
+             (Resilient.run w ~profile:Profile.storm
+                ~resilience:Resilient.paper_defaults
+                ~gateway:Gateway.degraded ~pauses:fault_pauses
+                ~db_timeline:[||] ~seed:5 ())));
+  ]
+
 (* --- driver ------------------------------------------------------------ *)
 
 let benchmark tests ~quota_s ~limit =
@@ -338,8 +389,8 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only micro,policy,exec,paper,server] [--quota SECONDS] \
-     [--limit RUNS] [--json PATH]";
+    "usage: main.exe [--only micro,policy,exec,fault,paper,server] \
+     [--quota SECONDS] [--limit RUNS] [--json PATH]";
   exit 2
 
 let parse_opts () =
@@ -393,6 +444,8 @@ let () =
     ~quota_s:0.5 ~lim:500;
   run_group "exec" "exec (worker pool fan-out)" exec_tests ~quota_s:0.5
     ~lim:50;
+  run_group "fault" "fault (injector, gateway, resilient client)" fault_tests
+    ~quota_s:0.5 ~lim:50;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
     ~lim:2;
   run_group "server" "client-server campaigns (scaled)" server_tests

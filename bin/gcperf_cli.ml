@@ -98,6 +98,14 @@ let resolve_bench name =
         (did_you_mean ~candidates:Gcperf_dacapo.Suite.names name);
       exit 1
 
+let resolve_fault_profile name =
+  match Gcperf_fault.Profile.of_string name with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "unknown fault profile %S%s\n" name
+        (did_you_mean ~candidates:Gcperf_fault.Profile.names name);
+      exit 1
+
 (* --- list ---------------------------------------------------------- *)
 
 let list_cmd =
@@ -325,10 +333,33 @@ let bench_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every GC event.")
   in
+  let faults_arg =
+    let doc =
+      "After the run, replay its pause schedule through the fault \
+       injector and the resilient client: $(docv) is a fault profile \
+       (none, flaky-network, pause-spike, storm).  Prints goodput, \
+       retry amplification and client tail latency with resilience off \
+       and on."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"PROFILE" ~doc)
+  in
+  let no_resilience_arg =
+    Arg.(
+      value & flag
+      & info [ "no-resilience" ]
+          ~doc:
+            "With $(b,--faults): only run the pre-resilience stack \
+             (naive client, unbounded server queue).")
+  in
   let run bench gc heap young iterations system_gc no_tlab adaptive pause_goal
-      verbose =
+      verbose faults no_resilience =
     let kind = resolve_collector gc in
     let b = resolve_bench bench in
+    (* Resolve up front so a typo dies before the benchmark runs. *)
+    let fault_profile = Option.map resolve_fault_profile faults in
     let mb = 1024 * 1024 in
     let config =
       validated (fun () ->
@@ -373,14 +404,59 @@ let bench_cmd =
             0.0 r.Gcperf_dacapo.Harness.events
         in
         Printf.printf "gc: %d pauses, %.3f s total pause time\n" n total
-      end
+      end;
+      match fault_profile with
+      | None -> ()
+      | Some profile ->
+          (* Replay the run's pause schedule through the fault injector
+             and the resilient client: the client-side view of the
+             pauses just printed. *)
+          let module R = Gcperf_ycsb.Resilient in
+          let module Gw = Gcperf_kvstore.Gateway in
+          let pauses =
+            Array.of_list
+              (List.map
+                 (fun (e : Gcperf_sim.Gc_event.event) ->
+                   ( e.Gcperf_sim.Gc_event.start_us /. 1e6,
+                     (e.Gcperf_sim.Gc_event.start_us
+                     +. e.Gcperf_sim.Gc_event.duration_us)
+                     /. 1e6 ))
+                 r.Gcperf_dacapo.Harness.events)
+          in
+          let workload =
+            {
+              Gcperf_ycsb.Client.paper_workload with
+              Gcperf_ycsb.Client.duration_s =
+                Float.max 1.0 r.Gcperf_dacapo.Harness.total_s;
+            }
+          in
+          let session resilient =
+            let resilience = if resilient then R.paper_defaults else R.none in
+            let gateway = if resilient then Gw.degraded else Gw.unbounded in
+            R.run workload ~profile ~resilience ~gateway ~collector:gc ~pauses
+              ~db_timeline:[||]
+              ~seed:(Gcperf.Exp_common.seed + 131)
+              ()
+          in
+          let print tag (m : R.summary) =
+            Printf.printf
+              "faults %-13s resilience %-3s goodput %8.2f op/s  amp %4.2f  \
+               p99 %8.2f ms  p99.9 %8.2f ms  ok %d/%d  timeouts %d  sheds %d  \
+               hedge-wins %d\n"
+              m.R.profile tag m.R.goodput_ops_s m.R.retry_amplification
+              m.R.p99_ms m.R.p999_ms m.R.ok m.R.requests m.R.timeouts
+              (m.R.sheds + m.R.fast_rejects)
+              m.R.hedge_wins
+          in
+          print "off" (session false);
+          if not no_resilience then print "on" (session true)
     end
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ bench_arg $ gc_arg $ heap_arg $ young_arg $ iterations_arg
       $ sysgc_arg $ tlab_off_arg $ adaptive_arg $ pause_goal_arg
-      $ verbose_arg)
+      $ verbose_arg $ faults_arg $ no_resilience_arg)
 
 (* --- tune ---------------------------------------------------------- *)
 

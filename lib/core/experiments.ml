@@ -459,6 +459,65 @@ let ergonomics_artifact ~scope ?jobs () =
          r.Exp_ergonomics.cells)
     ~render_text:(fun () -> Exp_ergonomics.render r)
 
+let faults_artifact ~scope ?jobs () =
+  let r = Exp_faults.run_scope ~scope ?jobs () in
+  A.make ~name:"faults"
+    ~title:"Fault injection: resilience under GC pauses and network faults"
+    ~params:(scope_params scope)
+    ~columns:
+      [
+        "gc";
+        "profile";
+        "resilience";
+        "requests";
+        "ok";
+        "failed";
+        "attempts";
+        "retries";
+        "retry_amplification";
+        "goodput_ops_s";
+        "p50_ms";
+        "p99_ms";
+        "p999_ms";
+        "max_ms";
+        "timeouts";
+        "sheds";
+        "fast_rejects";
+        "drops";
+        "errors";
+        "hedge_wins";
+      ]
+    ~rows:
+      (List.map
+         (fun (s : Exp_faults.session) ->
+           let m = s.Exp_faults.summary in
+           let module R = Gcperf_ycsb.Resilient in
+           A.
+             [
+               Text s.Exp_faults.gc;
+               Text s.profile;
+               Text (if s.resilient then "on" else "off");
+               Int m.R.requests;
+               Int m.R.ok;
+               Int m.R.failed;
+               Int m.R.attempts;
+               Int m.R.retries;
+               Float m.R.retry_amplification;
+               Float m.R.goodput_ops_s;
+               Float m.R.p50_ms;
+               Float m.R.p99_ms;
+               Float m.R.p999_ms;
+               Float m.R.max_ms;
+               Int m.R.timeouts;
+               Int m.R.sheds;
+               Int m.R.fast_rejects;
+               Int m.R.drops;
+               Int m.R.errors;
+               Int m.R.hedge_wins;
+             ])
+         (Exp_faults.sessions r))
+    ~render_text:(fun () -> Exp_faults.render r)
+
 let artifacts =
   [
     ("table2", table2_artifact);
@@ -474,6 +533,7 @@ let artifacts =
     ("server-po", server_po_artifact);
     ("ablation", ablation_artifact);
     ("ergonomics", ergonomics_artifact);
+    ("faults", faults_artifact);
   ]
 
 let all_names = List.map fst artifacts

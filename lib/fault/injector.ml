@@ -1,0 +1,75 @@
+module Prng = Gcperf_util.Prng
+module Clock = Gcperf_sim.Clock
+
+type outcome = Pass | Delay of float | Drop | Error
+
+type t = {
+  profile : Profile.t;
+  prng : Prng.t;
+  clock : Clock.t;
+  pauses : (float * float) array;
+  (* Monotone cursor into [pauses] for the spike window: callers advance
+     time forward only, so the first pause whose window has not fully
+     passed is all we ever need. *)
+  mutable spike_cursor : int;
+}
+
+let create ~profile ~seed ~pauses =
+  {
+    profile;
+    prng = Prng.create seed;
+    clock = Clock.create ();
+    pauses;
+    spike_cursor = 0;
+  }
+
+let profile t = t.profile
+
+let now_s t = Clock.now_s t.clock
+
+let advance_to t at_s =
+  let d = at_s -. Clock.now_s t.clock in
+  if d > 0.0 then Clock.advance_s t.clock d
+
+let outcome t =
+  (* Fixed draw order and count (error, drop, delay, delay length): the
+     stream position after a request is independent of the outcome. *)
+  let u_error = Prng.float t.prng 1.0 in
+  let u_drop = Prng.float t.prng 1.0 in
+  let u_delay = Prng.float t.prng 1.0 in
+  let u_len = Prng.float t.prng 1.0 in
+  let p = t.profile in
+  if u_error < p.Profile.error_prob then Error
+  else if u_drop < p.Profile.drop_prob then Drop
+  else if u_delay < p.Profile.delay_prob then
+    Delay (p.Profile.delay_min_ms
+           +. (u_len *. (p.Profile.delay_max_ms -. p.Profile.delay_min_ms)))
+  else Pass
+
+let load_multiplier t at_s =
+  let p = t.profile in
+  let fixed =
+    List.fold_left
+      (fun acc s ->
+        if at_s >= s.Profile.at_s && at_s < s.Profile.at_s +. s.Profile.len_s
+        then Float.max acc s.Profile.mult
+        else acc)
+      1.0 p.Profile.spikes
+  in
+  if p.Profile.pause_spike_mult <= 1.0 then fixed
+  else begin
+    let tail = p.Profile.pause_spike_tail_s in
+    let n = Array.length t.pauses in
+    while
+      t.spike_cursor < n
+      && snd t.pauses.(t.spike_cursor) +. tail < at_s
+    do
+      t.spike_cursor <- t.spike_cursor + 1
+    done;
+    if
+      t.spike_cursor < n
+      && at_s >= fst t.pauses.(t.spike_cursor)
+      && at_s <= snd t.pauses.(t.spike_cursor) +. tail
+    then Float.max fixed p.Profile.pause_spike_mult
+    else fixed
+  end

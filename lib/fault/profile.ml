@@ -1,0 +1,64 @@
+type spike = { at_s : float; len_s : float; mult : float }
+
+type t = {
+  name : string;
+  delay_prob : float;
+  delay_min_ms : float;
+  delay_max_ms : float;
+  drop_prob : float;
+  error_prob : float;
+  pause_spike_mult : float;
+  pause_spike_tail_s : float;
+  spikes : spike list;
+}
+
+let none =
+  {
+    name = "none";
+    delay_prob = 0.0;
+    delay_min_ms = 0.0;
+    delay_max_ms = 0.0;
+    drop_prob = 0.0;
+    error_prob = 0.0;
+    pause_spike_mult = 1.0;
+    pause_spike_tail_s = 0.0;
+    spikes = [];
+  }
+
+let flaky_network =
+  {
+    none with
+    name = "flaky-network";
+    delay_prob = 0.05;
+    delay_min_ms = 5.0;
+    delay_max_ms = 80.0;
+    drop_prob = 0.01;
+    error_prob = 0.005;
+  }
+
+let pause_spike =
+  {
+    none with
+    name = "pause-spike";
+    pause_spike_mult = 4.0;
+    pause_spike_tail_s = 2.0;
+  }
+
+let storm =
+  {
+    flaky_network with
+    name = "storm";
+    pause_spike_mult = 4.0;
+    pause_spike_tail_s = 2.0;
+    spikes =
+      [
+        { at_s = 120.0; len_s = 30.0; mult = 3.0 };
+        { at_s = 480.0; len_s = 30.0; mult = 3.0 };
+      ];
+  }
+
+let all = [ none; flaky_network; pause_spike; storm ]
+
+let names = List.map (fun p -> p.name) all
+
+let of_string s = List.find_opt (fun p -> p.name = s) all

@@ -1,0 +1,50 @@
+(** Fault profiles: named, declarative descriptions of what goes wrong.
+
+    A profile is pure data — probabilities and schedules — interpreted by
+    {!Injector} against one experiment cell's PRNG stream and pause
+    timeline.  The same profile therefore produces the same fault
+    schedule in every run of a cell, whatever the worker count. *)
+
+type spike = {
+  at_s : float;  (** spike start, seconds since experiment start *)
+  len_s : float;
+  mult : float;  (** arrival-rate multiplier while the spike holds *)
+}
+
+type t = {
+  name : string;
+  delay_prob : float;  (** per-response chance of an extra network delay *)
+  delay_min_ms : float;
+  delay_max_ms : float;
+  drop_prob : float;  (** per-response chance the reply is lost *)
+  error_prob : float;  (** per-request chance of a server-side error *)
+  pause_spike_mult : float;
+      (** arrival-rate multiplier while a GC pause holds the safepoint
+          (and for {!pause_spike_tail_s} after it): the retry storm the
+          rest of the client population mounts against a stalled server.
+          [1.0] disables. *)
+  pause_spike_tail_s : float;
+  spikes : spike list;  (** fixed-schedule synthetic load spikes *)
+}
+
+val none : t
+(** No faults: the injector passes every request through untouched. *)
+
+val flaky_network : t
+(** Tail-latency noise: occasional delayed responses, rare drops and
+    server errors, no load spikes. *)
+
+val pause_spike : t
+(** The paper's §6 amplifier: request rate quadruples while a server GC
+    pause holds the safepoint (and shortly after), piling arrivals onto
+    the stalled request queue. *)
+
+val storm : t
+(** {!flaky_network} and {!pause_spike} combined, plus two fixed load
+    spikes: the worst afternoon on call. *)
+
+val all : t list
+
+val names : string list
+
+val of_string : string -> t option

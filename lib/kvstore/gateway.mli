@@ -1,0 +1,65 @@
+(** Request-admission gateway: the server's degraded-mode front door.
+
+    The key-value server of {!Server} models the heap; this module
+    models what its request path does while the collector holds the
+    safepoint.  A gateway is a deterministic queue simulation over the
+    server's pause timeline: [servers] concurrent service slots fed by a
+    bounded FIFO queue, with service progress frozen inside every
+    stop-the-world interval.  Two degradation valves, both off in the
+    happy-path (unbounded) configuration:
+
+    - {e load shedding}: arrivals beyond [queue_capacity] waiting
+      requests are rejected immediately instead of queueing;
+    - {e fast reject}: while a GC pause holds the safepoint and the
+      queue has already filled past [fast_reject_fill], new arrivals are
+      bounced straight away — the cheap "server busy" answer a stalled
+      Cassandra coordinator returns instead of letting the pile-up grow.
+
+    Offers must arrive in non-decreasing time order (the session's event
+    loop guarantees it); everything else is pure arithmetic over the
+    pause schedule, so a gateway run is byte-reproducible. *)
+
+type config = {
+  servers : int;  (** concurrent service slots (Cassandra's RPC threads) *)
+  queue_capacity : int;  (** max waiting requests before shedding *)
+  shed : bool;
+  fast_reject : bool;
+  fast_reject_fill : int;
+      (** queue fill at which pause-time fast rejection kicks in *)
+  reject_cost_ms : float;
+      (** client-observed latency of a shed / fast-rejected request *)
+}
+
+val degraded : config
+(** Graceful degradation on: bounded queue, shedding and the pause-time
+    fast-reject path.  The resilience-on server of [exp_faults]. *)
+
+val unbounded : config
+(** The happy-path server the repo modelled before this subsystem:
+    queue without bound, never shed — pause pile-ups hit the clients. *)
+
+type outcome =
+  | Served of { wait_ms : float; finish_s : float }
+      (** queued for [wait_ms], response ready at [finish_s] (service
+          stretched across any pause that interrupts it) *)
+  | Shed
+  | Fast_rejected
+
+type t
+
+val create : config -> pauses:(float * float) array -> t
+(** [pauses] sorted stop-the-world intervals in seconds. *)
+
+val offer : t -> now_s:float -> service_ms:float -> outcome
+(** Admit (or reject) a request arriving at [now_s] whose un-delayed
+    service takes [service_ms].  [now_s] must be non-decreasing across
+    calls. *)
+
+val queue_length : t -> now_s:float -> int
+(** Waiting (admitted, not yet started) requests at [now_s]. *)
+
+val served : t -> int
+
+val sheds : t -> int
+
+val fast_rejects : t -> int

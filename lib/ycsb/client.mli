@@ -41,6 +41,11 @@ val paper_workload : workload
 (** 50 % read / 50 % update, two virtual hours, ~150 ops/s per the study's
     scale (>1 million points per collector). *)
 
+val db_bytes_at : (float * int) array -> float -> int
+(** Database size at a given time: the last timeline sample at or before
+    it (0 before the first sample).  Shared with {!Resilient}, whose
+    service-time model must match this client's. *)
+
 val run :
   workload ->
   pauses:(float * float) array ->

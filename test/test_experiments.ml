@@ -10,7 +10,7 @@ let contains s sub =
   go 0
 
 let test_registry () =
-  Alcotest.(check int) "13 experiments" 13 (List.length E.all_names);
+  Alcotest.(check int) "14 experiments" 14 (List.length E.all_names);
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " resolvable") true (E.by_name id <> None))

@@ -1,0 +1,146 @@
+(* bench_gate: compare a bechamel --json report against the committed
+   baseline (BENCH_micro.json) and flag regressions.
+
+   Usage:
+     bench_gate --baseline BENCH_micro.json --current bench.json
+                [--tolerance FACTOR]
+
+   A benchmark regresses when current_ns > tolerance * baseline_ns.
+   The default tolerance is 2.0: shared CI runners are noisy enough
+   that a 2x slowdown is the smallest signal worth acting on — tighter
+   bounds flap, and real regressions caught by this gate (an
+   accidentally quadratic remembered-set scan, a dropped memoisation)
+   blow far past 2x.  Benchmarks present on only one side are reported
+   but never fail the gate, so adding or retiring a bench does not
+   require touching the baseline in the same change.
+
+   Exit code: 0 when nothing regressed, 1 otherwise.  The CI job that
+   runs this is advisory (continue-on-error): the gate annotates the
+   build rather than blocking it, because bench noise on shared runners
+   is outside the author's control.  Run locally with a quiet machine
+   before trusting a failure. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The report is a flat JSON list of objects with "name" and
+   "ns_per_run" (possibly null) members, as written by bench/main.ml's
+   [write_json] — plus optional extra members (the baseline carries
+   "seed_ns_per_run"), which are ignored.  A full JSON parser is not
+   warranted for one fixed shape. *)
+let entries_of_json text =
+  let entries = ref [] in
+  let n = String.length text in
+  let find_sub sub from =
+    let m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub text i m = sub then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  let rec skip_ws i = if i < n && (text.[i] = ' ' || text.[i] = '\n') then skip_ws (i + 1) else i in
+  let rec go from =
+    match find_sub "\"name\"" from with
+    | None -> ()
+    | Some i -> (
+        let i = skip_ws (i + 6) in
+        let i = if i < n && text.[i] = ':' then skip_ws (i + 1) else i in
+        match String.index_from_opt text (i + 1) '"' with
+        | None -> ()
+        | Some close ->
+            let name = String.sub text (i + 1) (close - i - 1) in
+            (match find_sub "\"ns_per_run\"" close with
+            | None -> ()
+            | Some j ->
+                let j = skip_ws (j + 12) in
+                let j = if j < n && text.[j] = ':' then skip_ws (j + 1) else j in
+                let k = ref j in
+                while
+                  !k < n
+                  && (match text.[!k] with
+                     | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | 'n' | 'u'
+                     | 'l' ->
+                         true
+                     | _ -> false)
+                do
+                  incr k
+                done;
+                let v = String.sub text j (!k - j) in
+                let ns = if v = "null" then None else float_of_string_opt v in
+                entries := (name, ns) :: !entries);
+            go (close + 1))
+  in
+  go 0;
+  List.rev !entries
+
+let () =
+  let baseline = ref "" and current = ref "" and tolerance = ref 2.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: p :: rest ->
+        baseline := p;
+        parse rest
+    | "--current" :: p :: rest ->
+        current := p;
+        parse rest
+    | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some f when f >= 1.0 ->
+            tolerance := f;
+            parse rest
+        | _ ->
+            prerr_endline "bench_gate: --tolerance must be a factor >= 1.0";
+            exit 2)
+    | arg :: _ ->
+        Printf.eprintf
+          "bench_gate: unknown argument %s\n\
+           usage: bench_gate --baseline PATH --current PATH [--tolerance F]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !baseline = "" || !current = "" then begin
+    prerr_endline
+      "usage: bench_gate --baseline PATH --current PATH [--tolerance F]";
+    exit 2
+  end;
+  let base = entries_of_json (read_file !baseline) in
+  let cur = entries_of_json (read_file !current) in
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, ns) ->
+      match (ns, List.assoc_opt name base) with
+      | Some ns, Some (Some base_ns) ->
+          let ratio = ns /. base_ns in
+          if ratio > !tolerance then begin
+            incr regressions;
+            Printf.printf "REGRESSION %-32s %12.1f ns -> %12.1f ns (%.2fx > %.2fx)\n"
+              name base_ns ns ratio !tolerance
+          end
+          else
+            Printf.printf "ok         %-32s %12.1f ns -> %12.1f ns (%.2fx)\n"
+              name base_ns ns ratio
+      | None, _ ->
+          Printf.printf "skip       %-32s (no estimate this run)\n" name
+      | Some _, Some None ->
+          Printf.printf "skip       %-32s (no baseline estimate)\n" name
+      | Some _, None ->
+          Printf.printf "new        %-32s (not in baseline; not gated)\n" name)
+    cur;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name cur) then
+        Printf.printf "gone       %-32s (in baseline only; not gated)\n" name)
+    base;
+  if !regressions > 0 then begin
+    Printf.printf "%d benchmark(s) regressed beyond %.2fx\n" !regressions
+      !tolerance;
+    exit 1
+  end;
+  print_endline "bench gate: no regressions"
