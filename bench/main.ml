@@ -20,8 +20,9 @@
      that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
-     list of [{"name": ..., "ns_per_run": ...}] records (the perf
-     trajectory file BENCH_micro.json is produced this way). *)
+     object: [jobs] and [recommended_domain_count] metadata plus a
+     [results] list of [{"name": ..., "ns_per_run": ...}] records (the
+     perf trajectory file BENCH_micro.json is produced this way). *)
 
 open Bechamel
 open Toolkit
@@ -95,6 +96,44 @@ let vm_for kind =
   in
   let th = Vm.spawn_thread vm in
   (vm, th)
+
+(* The trace kernel alone: one full Trace_live closure over a shared
+   50k-object graph from 256 seed roots (deep enough that the default
+   engagement threshold admits the crew).  The jobs count is in the
+   name on purpose: on a single-core host, jobs4 measures domain
+   time-sharing plus the crew hand-off, not a speedup, so each entry
+   must gate only against its own baseline. *)
+let par_trace_test ~domains =
+  let module Os = Gcperf_heap.Obj_store in
+  let module Ivec = Gcperf_util.Int_vec in
+  let s = Os.create () in
+  let n = 50_000 in
+  let ids = Array.init n (fun _ -> Os.alloc s ~size:64 ~loc:Os.Eden) in
+  let state = ref 11 in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  Array.iter
+    (fun id ->
+      for _ = 1 to 3 do
+        Os.add_ref s ~from:id ~to_:ids.(rand n)
+      done)
+    ids;
+  let marked = Ivec.create () and stack = Ivec.create () in
+  Test.make
+    ~name:(Printf.sprintf "par-trace-jobs%d" domains)
+    (Staged.stage (fun () ->
+         Ivec.clear marked;
+         Ivec.clear stack;
+         Os.begin_trace s;
+         for i = 0 to 255 do
+           let id = ids.(i * 64) in
+           Os.mark s id;
+           Ivec.push marked id;
+           Ivec.push stack id
+         done;
+         Os.finish_trace s ~pred:Os.Trace_live ~marked ~stack ~domains))
 
 let micro_tests =
   [
@@ -197,6 +236,8 @@ let micro_tests =
              (Gcperf_util.Prng.exponential prng 2.0, Gcperf_util.Prng.bool prng))
        in
        Staged.stage (fun () -> ignore (Gcperf_stats.Stats.latency_report pts)));
+    par_trace_test ~domains:1;
+    par_trace_test ~domains:4;
   ]
 
 (* --- policy: adaptive sizing overhead --------------------------------- *)
@@ -365,16 +406,25 @@ let print_results label rows =
     rows;
   print_newline ()
 
+(* The results array keeps the flat {"name", "ns_per_run"} records the
+   gate scans for; the wrapper records how the numbers were taken.
+   Measurements always run sequentially ("jobs": 1 — the jobs-suffixed
+   entries encode their own fan-out in their names), and
+   "recommended_domain_count" says how many cores the host offered, so
+   a reader can tell a real jobs4 speedup from domain time-sharing on a
+   single-core runner. *)
 let write_json path rows =
   let oc = open_out path in
-  output_string oc "[\n";
+  Printf.fprintf oc "{\n  \"jobs\": 1,\n  \"recommended_domain_count\": %d,\n"
+    (Domain.recommended_domain_count ());
+  output_string oc "  \"results\": [\n";
   List.iteri
     (fun i (name, est) ->
-      Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_run\": %s}%s\n" name
         (if Float.is_nan est then "null" else Printf.sprintf "%.3f" est)
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "]\n";
+  output_string oc "  ]\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 

@@ -52,6 +52,18 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let trace_jobs_arg =
+  let doc =
+    "Worker domains for intra-collection tracing (the mark/scan kernel \
+     inside each simulated pause).  Independent of $(b,--jobs); results \
+     are byte-identical for every value.  Default 1 (sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "trace-jobs" ] ~docv:"N" ~doc)
+
+let apply_trace_jobs = function
+  | None -> ()
+  | Some n -> Gcperf_heap.Obj_store.set_default_trace_domains n
+
 let emit out text =
   match out with
   | None -> print_string text
@@ -141,9 +153,10 @@ let run_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Experiment id (see $(b,gcperf list)).")
   in
-  let run id quick scope format jobs out =
+  let run id quick scope format jobs trace_jobs out =
     let scope = resolve_scope quick scope in
     let format = parse_format format in
+    apply_trace_jobs trace_jobs;
     match Gcperf.Experiments.artifact ~scope ?jobs id with
     | None ->
         Printf.eprintf "unknown experiment %S%s; try `gcperf list`\n" id
@@ -154,7 +167,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ id_arg $ quick_arg $ scope_arg $ format_arg $ jobs_arg
-      $ out_arg)
+      $ trace_jobs_arg $ out_arg)
 
 (* --- trace --------------------------------------------------------- *)
 
@@ -522,8 +535,9 @@ let suite_cmd =
 
 let all_cmd =
   let doc = "Run every experiment and print all artifacts in order." in
-  let run quick scope jobs =
+  let run quick scope jobs trace_jobs =
     let scope = resolve_scope quick scope in
+    apply_trace_jobs trace_jobs;
     List.iter
       (fun (id, build) ->
         Printf.printf "==== %s ====\n%s\n%!" id
@@ -531,7 +545,7 @@ let all_cmd =
       Gcperf.Experiments.artifacts
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ quick_arg $ scope_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ scope_arg $ jobs_arg $ trace_jobs_arg)
 
 let main =
   let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in

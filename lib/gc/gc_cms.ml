@@ -117,10 +117,9 @@ let create ctx (config : Gc_config.t) =
     let garbage = ref 0 in
     Vec.iter
       (fun id ->
-        let o = Os.slot store id in
-        if Os.is_old_loc o.Os.loc && not (Os.is_marked store o) then begin
+        if Os.is_old store id && not (Os.is_marked store id) then begin
           Vec.push victims id;
-          garbage := !garbage + o.Os.size
+          garbage := !garbage + Os.size store id
         end)
       heap.Gh.old_ids;
     let card_bytes = Gh.dirty_live_bytes heap in
@@ -161,10 +160,10 @@ let create ctx (config : Gc_config.t) =
   let finish_sweep (victims : Vec.t) cursor garbage_bytes =
     (* Free whatever the incremental sweep has not yet released. *)
     for i = cursor to Vec.length victims - 1 do
-      let o = Os.slot store (Vec.get victims i) in
-      if Os.is_old_loc o.Os.loc then begin
-        heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
-        Os.free_obj store o
+      let id = Vec.get victims i in
+      if Os.is_old store id then begin
+        heap.Gh.old_used <- heap.Gh.old_used - Os.size store id;
+        Os.free store id
       end
     done;
     Gh.compact_registries heap;
@@ -255,10 +254,9 @@ let create ctx (config : Gc_config.t) =
         let target = min target total in
         while sw.cursor < target do
           let id = Vec.get sw.victims sw.cursor in
-          let o = Os.slot store id in
-          if Os.is_old_loc o.Os.loc then begin
-            heap.Gh.old_used <- heap.Gh.old_used - o.Os.size;
-            Os.free_obj store o
+          if Os.is_old store id then begin
+            heap.Gh.old_used <- heap.Gh.old_used - Os.size store id;
+            Os.free store id
           end;
           sw.cursor <- sw.cursor + 1
         done;

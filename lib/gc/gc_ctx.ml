@@ -11,6 +11,9 @@ type t = {
   telemetry : Telemetry.t;
   mutable mutator_threads : int;
   mutable iter_roots : (int -> unit) -> unit;
+  mutable trace_domains : int;
+      (* worker domains for intra-collection tracing; 1 = sequential.
+         Snapshotted from the process-global default at creation. *)
   mutable policy : Policy.t option;
   mutable survivor_overflow : bool;
   mutable last_pause_end_us : float;
@@ -29,6 +32,7 @@ let create ?telemetry machine clock events =
     telemetry;
     mutator_threads = 1;
     iter_roots = (fun _ -> ());
+    trace_domains = Gcperf_heap.Obj_store.default_trace_domains ();
     policy = None;
     survivor_overflow = false;
     last_pause_end_us = 0.0;

@@ -71,12 +71,8 @@ let create ctx (config : Gc_config.t) =
     }
   in
   Hashtbl.replace registry name (st, rheap);
-  let old_hum_used () =
-    Rh.used_of_kind rheap Rh.Old_region + Rh.used_of_kind rheap Rh.Humongous
-  in
-  let young_used () =
-    Rh.used_of_kind rheap Rh.Eden + Rh.used_of_kind rheap Rh.Survivor
-  in
+  let old_hum_used () = Rh.used_old_hum rheap in
+  let young_used () = Rh.used_young rheap in
   (* Per-collection scratch, hoisted so steady-state evacuation pauses
      allocate nothing in the host runtime.  Contents are only valid within
      one collection; trace_all and trace_collection_set use disjoint mark
@@ -97,20 +93,16 @@ let create ctx (config : Gc_config.t) =
     Vec.clear stack;
     Os.begin_trace store;
     let push id =
-      let o = Os.slot store id in
-      match o.Os.loc with
-      | Os.Nowhere -> ()
-      | _ ->
-          if not (Os.is_marked store o) then begin
-            Os.mark store o;
-            Vec.push marked id;
-            Vec.push stack id
-          end
+      if (not (Os.is_nowhere store id)) && not (Os.is_marked store id)
+      then begin
+        Os.mark store id;
+        Vec.push marked id;
+        Vec.push stack id
+      end
     in
     ctx.Gc_ctx.iter_roots push;
-    while not (Vec.is_empty stack) do
-      Vec.iter push (Os.get store (Vec.pop stack)).Os.refs
-    done;
+    Os.finish_trace store ~pred:Os.Trace_live ~marked ~stack
+      ~domains:ctx.Gc_ctx.trace_domains;
     marked
   in
   (* Partial trace of the collection set: roots plus remembered sets.
@@ -127,15 +119,12 @@ let create ctx (config : Gc_config.t) =
     Os.begin_trace store;
     let remset_bytes = ref 0 in
     let push id =
-      let o = Os.slot store id in
-      match o.Os.loc with
-      | Os.Region r when collected.(r) ->
-          if not (Os.is_marked store o) then begin
-            Os.mark store o;
-            Vec.push marked id;
-            Vec.push stack id
-          end
-      | Os.Region _ | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> ()
+      let r = Os.region_index store id in
+      if r >= 0 && collected.(r) && not (Os.is_marked store id) then begin
+        Os.mark store id;
+        Vec.push marked id;
+        Vec.push stack id
+      end
     in
     ctx.Gc_ctx.iter_roots push;
     Array.iter
@@ -145,36 +134,32 @@ let create ctx (config : Gc_config.t) =
           Vec.clear stale;
           Hashtbl.iter
             (fun src () ->
-              let so = Os.slot store src in
-              match so.Os.loc with
-              | Os.Region sr when collected.(sr) ->
-                  (* The source is itself being collected: if it is
-                     live the trace reaches it; if dead, its references
-                     die with it.  Either way the entry is obsolete. *)
-                  Vec.push stale src
-              | Os.Region _ ->
-                  remset_bytes := !remset_bytes + so.Os.size;
-                  let relevant = ref false in
-                  Vec.iter
-                    (fun child ->
-                      match (Os.slot store child).Os.loc with
-                      | Os.Region cr when cr = r.Rh.idx ->
-                          relevant := true;
-                          Vec.push ext_src src;
-                          Vec.push ext_child child;
-                          push child
-                      | _ -> ())
-                    so.Os.refs;
-                  if not !relevant then Vec.push stale src
-              | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere ->
-                  Vec.push stale src)
+              let sr = Os.region_index store src in
+              if sr < 0 then Vec.push stale src
+              else if collected.(sr) then
+                (* The source is itself being collected: if it is
+                   live the trace reaches it; if dead, its references
+                   die with it.  Either way the entry is obsolete. *)
+                Vec.push stale src
+              else begin
+                remset_bytes := !remset_bytes + Os.size store src;
+                let relevant = ref false in
+                Os.iter_refs store src (fun child ->
+                    if Os.in_region store child r.Rh.idx then begin
+                      relevant := true;
+                      Vec.push ext_src src;
+                      Vec.push ext_child child;
+                      push child
+                    end);
+                if not !relevant then Vec.push stale src
+              end)
             r.Rh.remset;
           Vec.iter (fun s -> Hashtbl.remove r.Rh.remset s) stale
         end)
       rheap.Rh.regions;
-    while not (Vec.is_empty stack) do
-      Vec.iter push (Os.get store (Vec.pop stack)).Os.refs
-    done;
+    Os.finish_trace store
+      ~pred:(Os.Trace_regions collected)
+      ~marked ~stack ~domains:ctx.Gc_ctx.trace_domains;
     (marked, !remset_bytes)
   in
   let record ~kind ~reason ~phases ~duration ~young_before ~old_before
@@ -221,7 +206,7 @@ let create ctx (config : Gc_config.t) =
     in
     let young_before = young_used () and old_before = old_hum_used () in
     let marked = trace_all () in
-    let live = Vec.fold (fun a id -> a + (Os.get store id).Os.size) 0 marked in
+    let live = Vec.fold (fun a id -> a + Os.size store id) 0 marked in
     if live > rheap.Rh.heap_bytes then
       raise
         (Gc_ctx.Out_of_memory
@@ -239,18 +224,17 @@ let create ctx (config : Gc_config.t) =
             if r.Rh.hum_len > 0 then
               Vec.iter
                 (fun id ->
-                  let o = Os.get store id in
-                  if not (Os.is_marked store o) then
+                  if not (Os.is_marked store id) then
                     dead_humongous := id :: !dead_humongous)
                 r.Rh.objects
         | Rh.Eden | Rh.Survivor | Rh.Old_region ->
             Vec.iter
               (fun id ->
-                let o = Os.get store id in
-                if Os.is_marked store o then Vec.push movable id
+                if Os.is_marked store id then Vec.push movable id
                 else begin
-                  freed := !freed + o.Os.size;
-                  r.Rh.used <- r.Rh.used - o.Os.size;
+                  let size = Os.size store id in
+                  freed := !freed + size;
+                  r.Rh.used <- r.Rh.used - size;
                   Os.free store id
                 end)
               r.Rh.objects
@@ -258,8 +242,7 @@ let create ctx (config : Gc_config.t) =
       rheap.Rh.regions;
     List.iter
       (fun id ->
-        let o = Os.get store id in
-        freed := !freed + o.Os.size;
+        freed := !freed + Os.size store id;
         Rh.release_humongous rheap id)
       !dead_humongous;
     (* Slide the movable objects into freshly packed old regions.  Epoch
@@ -274,15 +257,15 @@ let create ctx (config : Gc_config.t) =
     let moved_bytes = ref 0 in
     Vec.iter
       (fun id ->
-        let o = Os.get store id in
+        let size = Os.size store id in
         (* Everything that survives a full collection is old data. *)
-        o.Os.age <- max o.Os.age !tenuring;
-        moved_bytes := !moved_bytes + o.Os.size;
+        Os.set_age store id (max (Os.age store id) !tenuring);
+        moved_bytes := !moved_bytes + size;
         let rec place () =
           match !target with
-          | Some r when r.Rh.used + o.Os.size <= rheap.Rh.region_size ->
-              o.Os.loc <- Os.Region r.Rh.idx;
-              r.Rh.used <- r.Rh.used + o.Os.size;
+          | Some r when r.Rh.used + size <= rheap.Rh.region_size ->
+              Os.set_loc_region store id r.Rh.idx;
+              r.Rh.used <- r.Rh.used + size;
               Vec.push r.Rh.objects id
           | _ -> (
               match Rh.take_free_region rheap Rh.Old_region with
@@ -297,14 +280,13 @@ let create ctx (config : Gc_config.t) =
         place ())
       movable;
     (* Rebuild remembered sets exactly: cross-region references only. *)
-    Os.iter_live store (fun o ->
-        Vec.iter
-          (fun child ->
-            match (o.Os.loc, (Os.slot store child).Os.loc) with
-            | Os.Region rp, Os.Region rc when rp <> rc ->
-                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset o.Os.id ()
-            | _ -> ())
-          o.Os.refs);
+    Os.iter_live store (fun id ->
+        let rp = Os.region_index store id in
+        if rp >= 0 then
+          Os.iter_refs store id (fun child ->
+              let rc = Os.region_index store child in
+              if rc >= 0 && rp <> rc then
+                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ()));
     st.eden_bytes <- 0;
     st.mixed_candidates <- [];
     st.phase <- Idle;
@@ -346,8 +328,7 @@ let create ctx (config : Gc_config.t) =
             let live = ref 0 in
             Vec.iter
               (fun id ->
-                let o = Os.get store id in
-                if Os.is_marked store o then live := !live + o.Os.size)
+                if Os.is_marked store id then live := !live + Os.size store id)
               r.Rh.objects;
             r.Rh.live_bytes <- !live
         | Rh.Eden | Rh.Survivor | Rh.Free -> ())
@@ -384,8 +365,7 @@ let create ctx (config : Gc_config.t) =
         | Rh.Humongous when r.Rh.hum_len > 0 ->
             Vec.iter
               (fun id ->
-                let ho = Os.get store id in
-                if not (Os.is_marked store ho) then
+                if not (Os.is_marked store id) then
                   dead_humongous := id :: !dead_humongous)
               r.Rh.objects
         | Rh.Old_region | Rh.Humongous | Rh.Eden | Rh.Survivor | Rh.Free -> ())
@@ -477,21 +457,19 @@ let create ctx (config : Gc_config.t) =
     in
     Vec.iter
       (fun id ->
-        let o = Os.get store id in
-        if
-          o.Os.age + 1 >= !tenuring
-          || !surv_bytes + o.Os.size > survivor_budget
+        let size = Os.size store id in
+        let age = Os.age store id in
+        if age + 1 >= !tenuring || !surv_bytes + size > survivor_budget
         then begin
           (* Promoted before reaching the threshold: survivor budget
              overflow, the ergonomics policy's survivor-pressure signal. *)
-          if o.Os.age + 1 < !tenuring then
-            ctx.Gc_ctx.survivor_overflow <- true;
+          if age + 1 < !tenuring then ctx.Gc_ctx.survivor_overflow <- true;
           Vec.push prom id;
-          prom_bytes := !prom_bytes + o.Os.size
+          prom_bytes := !prom_bytes + size
         end
         else begin
           Vec.push surv id;
-          surv_bytes := !surv_bytes + o.Os.size
+          surv_bytes := !surv_bytes + size
         end)
       marked;
     let regions_for v =
@@ -499,7 +477,7 @@ let create ctx (config : Gc_config.t) =
       let count = ref 0 and used = ref rheap.Rh.region_size in
       Vec.iter
         (fun id ->
-          let s = (Os.get store id).Os.size in
+          let s = Os.size store id in
           if !used + s > rheap.Rh.region_size then begin
             incr count;
             used := 0
@@ -519,15 +497,15 @@ let create ctx (config : Gc_config.t) =
         let target = ref None in
         Vec.iter
           (fun id ->
-            let o = Os.get store id in
-            let src = Rh.region_of rheap o in
+            let size = Os.size store id in
+            let src = Rh.region_of rheap id in
             let rec place () =
               match !target with
-              | Some r when r.Rh.used + o.Os.size <= rheap.Rh.region_size ->
-                  src.Rh.used <- src.Rh.used - o.Os.size;
-                  o.Os.loc <- Os.Region r.Rh.idx;
-                  o.Os.age <- o.Os.age + age_bump;
-                  r.Rh.used <- r.Rh.used + o.Os.size;
+              | Some r when r.Rh.used + size <= rheap.Rh.region_size ->
+                  src.Rh.used <- src.Rh.used - size;
+                  Os.set_loc_region store id r.Rh.idx;
+                  Os.set_age store id (Os.age store id + age_bump);
+                  r.Rh.used <- r.Rh.used + size;
                   Vec.push r.Rh.objects id
               | _ -> (
                   match Rh.take_free_region rheap kind with
@@ -548,23 +526,18 @@ let create ctx (config : Gc_config.t) =
          regions its own references point into. *)
       for i = 0 to Vec.length ext_src - 1 do
         let src = Vec.get ext_src i and child = Vec.get ext_child i in
-        match ((Os.slot store src).Os.loc, (Os.slot store child).Os.loc) with
-        | Os.Region rs, Os.Region rc when rs <> rc ->
-            Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset src ()
-        | _ -> ()
+        let rs = Os.region_index store src
+        and rc = Os.region_index store child in
+        if rs >= 0 && rc >= 0 && rs <> rc then
+          Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset src ()
       done;
       let update_moved id =
-        let o = Os.get store id in
-        match o.Os.loc with
-        | Os.Region ro ->
-            Vec.iter
-              (fun child ->
-                match (Os.slot store child).Os.loc with
-                | Os.Region rc when rc <> ro ->
-                    Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ()
-                | _ -> ())
-              o.Os.refs
-        | Os.Eden | Os.Survivor | Os.Old | Os.Nowhere -> ()
+        let ro = Os.region_index store id in
+        if ro >= 0 then
+          Os.iter_refs store id (fun child ->
+              let rc = Os.region_index store child in
+              if rc >= 0 && rc <> ro then
+                Hashtbl.replace rheap.Rh.regions.(rc).Rh.remset id ())
       in
       Vec.iter update_moved surv;
       Vec.iter update_moved prom;

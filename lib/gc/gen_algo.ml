@@ -33,21 +33,18 @@ let trace_young ctx (heap : Gh.t) =
   Os.begin_trace store;
   let card_bytes = ref 0 in
   let push id =
-    let o = Os.slot store id in
-    if Gh.is_young o.Os.loc && not (Os.is_marked store o) then begin
-      Os.mark store o;
+    if Os.is_young store id && not (Os.is_marked store id) then begin
+      Os.mark store id;
       Vec.push marked id;
       Vec.push stack id
     end
   in
   ctx.Gc_ctx.iter_roots push;
   Gh.iter_dirty heap (fun p ->
-      card_bytes := !card_bytes + p.Os.size;
-      Vec.iter push p.Os.refs);
-  while not (Vec.is_empty stack) do
-    let id = Vec.pop stack in
-    Vec.iter push (Os.slot store id).Os.refs
-  done;
+      card_bytes := !card_bytes + Os.size store p;
+      Os.iter_refs store p push);
+  Os.finish_trace store ~pred:Os.Trace_young ~marked ~stack
+    ~domains:ctx.Gc_ctx.trace_domains;
   (marked, !card_bytes)
 
 let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
@@ -65,9 +62,8 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
   let bytes_by_age = heap.Gh.age_bytes in
   Vec.iter
     (fun id ->
-      let o = Os.get store id in
-      let age = min max_age (o.Os.age + 1) in
-      bytes_by_age.(age) <- bytes_by_age.(age) + o.Os.size)
+      let age = min max_age (Os.age store id + 1) in
+      bytes_by_age.(age) <- bytes_by_age.(age) + Os.size store id)
     marked;
   let target = heap.Gh.survivor_cap / 2 in
   let effective_threshold =
@@ -89,22 +85,22 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
   Vec.clear keep;
   Vec.iter
     (fun id ->
-      let o = Os.get store id in
-      let new_age = o.Os.age + 1 in
+      let size = Os.size store id in
+      let new_age = Os.age store id + 1 in
       if
         new_age >= effective_threshold
-        || !to_survivor + o.Os.size > heap.Gh.survivor_cap
+        || !to_survivor + size > heap.Gh.survivor_cap
       then begin
         (* Promoted before reaching the threshold: the survivor space
            could not hold it.  The ergonomics policy reads this as
            survivor pressure. *)
         if new_age < effective_threshold then
           ctx.Gc_ctx.survivor_overflow <- true;
-        to_promote := !to_promote + o.Os.size;
+        to_promote := !to_promote + size;
         Vec.push promote id
       end
       else begin
-        to_survivor := !to_survivor + o.Os.size;
+        to_survivor := !to_survivor + size;
         Vec.push keep id
       end)
     marked;
@@ -117,27 +113,24 @@ let collect_young ctx (heap : Gh.t) ~params ~collector ~reason =
      promoted (now old) and keeps the survivors. *)
   Vec.iter
     (fun id ->
-      let o = Os.get store id in
-      o.Os.age <- o.Os.age + 1;
-      o.Os.loc <- Os.Old;
-      heap.Gh.old_used <- heap.Gh.old_used + o.Os.size;
+      Os.set_age store id (Os.age store id + 1);
+      Os.set_loc_old store id;
+      heap.Gh.old_used <- heap.Gh.old_used + Os.size store id;
       Vec.push heap.Gh.old_ids id)
     promote;
   Vec.iter
     (fun id ->
-      let o = Os.get store id in
-      o.Os.age <- o.Os.age + 1;
-      o.Os.loc <- Os.Survivor)
+      Os.set_age store id (Os.age store id + 1);
+      Os.set_loc_survivor store id)
     keep;
   let freed = ref 0 in
   Vec.filter_in_place
     (fun id ->
-      let o = Os.slot store id in
-      Gh.is_young o.Os.loc
-      && (Os.is_marked store o
+      Os.is_young store id
+      && (Os.is_marked store id
          || begin
-              freed := !freed + o.Os.size;
-              Os.free_obj store o;
+              freed := !freed + Os.size store id;
+              Os.free store id;
               false
             end))
     heap.Gh.young_ids;
@@ -204,21 +197,15 @@ let trace_all ctx (heap : Gh.t) =
   Vec.clear stack;
   Os.begin_trace store;
   let push id =
-    let o = Os.slot store id in
-    match o.Os.loc with
-    | Os.Nowhere -> ()
-    | _ ->
-        if not (Os.is_marked store o) then begin
-          Os.mark store o;
-          Vec.push marked id;
-          Vec.push stack id
-        end
+    if (not (Os.is_nowhere store id)) && not (Os.is_marked store id) then begin
+      Os.mark store id;
+      Vec.push marked id;
+      Vec.push stack id
+    end
   in
   ctx.Gc_ctx.iter_roots push;
-  while not (Vec.is_empty stack) do
-    let id = Vec.pop stack in
-    Vec.iter push (Os.slot store id).Os.refs
-  done;
+  Os.finish_trace store ~pred:Os.Trace_live ~marked ~stack
+    ~domains:ctx.Gc_ctx.trace_domains;
   marked
 
 let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
@@ -228,9 +215,8 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   let live_young = ref 0 and live_old = ref 0 in
   Vec.iter
     (fun id ->
-      let o = Os.slot store id in
-      if Gh.is_young o.Os.loc then live_young := !live_young + o.Os.size
-      else live_old := !live_old + o.Os.size)
+      if Os.is_young store id then live_young := !live_young + Os.size store id
+      else live_old := !live_old + Os.size store id)
     marked;
   let live = !live_young + !live_old in
   if live > heap.Gh.heap_bytes then
@@ -243,14 +229,11 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   let sweep_vec v =
     Vec.iter
       (fun id ->
-        let o = Os.slot store id in
-        match o.Os.loc with
-        | Os.Nowhere -> ()
-        | _ ->
-            if not (Os.is_marked store o) then begin
-              freed := !freed + o.Os.size;
-              Os.free_obj store o
-            end)
+        if (not (Os.is_nowhere store id)) && not (Os.is_marked store id)
+        then begin
+          freed := !freed + Os.size store id;
+          Os.free store id
+        end)
       v
   in
   sweep_vec heap.Gh.young_ids;
@@ -263,17 +246,17 @@ let collect_full ctx (heap : Gh.t) ~workers ~collector ~reason =
   let old_used = ref !live_old in
   Vec.iter
     (fun id ->
-      let o = Os.slot store id in
-      if Gh.is_young o.Os.loc then begin
-        if !old_used + o.Os.size <= heap.Gh.old_cap then begin
-          o.Os.loc <- Os.Old;
-          old_used := !old_used + o.Os.size;
-          promoted := !promoted + o.Os.size;
+      if Os.is_young store id then begin
+        let size = Os.size store id in
+        if !old_used + size <= heap.Gh.old_cap then begin
+          Os.set_loc_old store id;
+          old_used := !old_used + size;
+          promoted := !promoted + size;
           Vec.push heap.Gh.old_ids id
         end
         else begin
-          o.Os.loc <- Os.Eden;
-          eden_left := !eden_left + o.Os.size
+          Os.set_loc_eden store id;
+          eden_left := !eden_left + size
         end
       end)
     marked;

@@ -156,8 +156,7 @@ let alloc_old_direct t ~size =
    [young_refs] counters; {!rebuild_cards} re-derives the set from the
    old registry after a full collection. *)
 
-let[@inline] entry_present t id =
-  Obj_store.is_old_loc (Obj_store.slot t.store id).Obj_store.loc
+let[@inline] entry_present t id = Obj_store.is_old t.store id
 
 let card_mark t id =
   if not (Bitset.mem t.dirty_bits id) then begin
@@ -171,9 +170,7 @@ let iter_dirty t f =
      (common) collections with no dirty cards *)
   if Hashtbl.length t.dirty_tbl > 0 then
     Hashtbl.iter
-      (fun id () ->
-        let o = Obj_store.slot t.store id in
-        if Obj_store.is_old_loc o.Obj_store.loc then f o)
+      (fun id () -> if Obj_store.is_old t.store id then f id)
       t.dirty_tbl
 
 let card_is_dirty t id = Bitset.mem t.dirty_bits id && entry_present t id
@@ -190,9 +187,8 @@ let dirty_count t =
 let dirty_live_bytes t =
   Vec.fold
     (fun acc id ->
-      let o = Obj_store.slot t.store id in
-      if Obj_store.is_nowhere_loc o.Obj_store.loc then acc
-      else acc + o.Obj_store.size)
+      if Obj_store.is_nowhere t.store id then acc
+      else acc + Obj_store.size t.store id)
     0 t.dirty_ids
 
 let clear_cards t =
@@ -208,10 +204,9 @@ let clear_cards t =
   if Hashtbl.length t.dirty_tbl > 0 then Hashtbl.reset t.dirty_tbl
 
 let[@inline] consider_card t id =
-  let o = Obj_store.slot t.store id in
-  if Obj_store.is_old_loc o.Obj_store.loc then begin
-    Obj_store.recount_young_refs t.store o;
-    if o.Obj_store.young_refs > 0 then card_mark t id
+  if Obj_store.is_old t.store id then begin
+    Obj_store.recount_young_refs t.store id;
+    if Obj_store.young_refs t.store id > 0 then card_mark t id
   end
 
 let refresh_cards t ~extra =
@@ -230,35 +225,29 @@ let rebuild_cards t =
 
 let record_store t ~parent ~child =
   Obj_store.add_ref t.store ~from:parent ~to_:child;
-  let p = Obj_store.get t.store parent in
-  if
-    Obj_store.is_old_loc p.Obj_store.loc
-    && is_young (Obj_store.get t.store child).Obj_store.loc
-  then card_mark t parent
+  if Obj_store.is_old t.store parent && Obj_store.is_young t.store child then
+    card_mark t parent
 
 let remove_store t ~parent ~child =
   Obj_store.remove_ref t.store ~from:parent ~to_:child
 
 let compact_old_ids t =
   let store = t.store in
-  Vec.filter_in_place
-    (fun id -> Obj_store.is_old_loc (Obj_store.slot store id).loc)
-    t.old_ids
+  Vec.filter_in_place (fun id -> Obj_store.is_old store id) t.old_ids
 
 let compact_registries t =
   let store = t.store in
-  Vec.filter_in_place
-    (fun id -> is_young (Obj_store.slot store id).loc)
-    t.young_ids;
+  Vec.filter_in_place (fun id -> Obj_store.is_young store id) t.young_ids;
   compact_old_ids t
 
 let check_invariants t =
   let eden = ref 0 and survivor = ref 0 and old = ref 0 in
-  Obj_store.iter_live t.store (fun o ->
-      match o.loc with
-      | Obj_store.Eden -> eden := !eden + o.size
-      | Obj_store.Survivor -> survivor := !survivor + o.size
-      | Obj_store.Old -> old := !old + o.size
+  Obj_store.iter_live t.store (fun id ->
+      let size = Obj_store.size t.store id in
+      match Obj_store.loc t.store id with
+      | Obj_store.Eden -> eden := !eden + size
+      | Obj_store.Survivor -> survivor := !survivor + size
+      | Obj_store.Old -> old := !old + size
       | Obj_store.Region _ | Obj_store.Nowhere -> ());
   let check name expected actual cap =
     if expected <> actual then

@@ -7,7 +7,7 @@
     the young generation.
 
     The remembered set is maintained incrementally: the store counts young
-    targets per object ({!Obj_store.obj.young_refs}, updated by the write
+    targets per object ({!Obj_store.young_refs}, updated by the write
     barrier), and membership is a compact id vector plus a bitset, with a
     hash-table mirror providing the iteration order (see {!iter_dirty}).
     Like a hardware card table, a card stays dirty until a collection
@@ -120,8 +120,8 @@ val remove_store : t -> parent:int -> child:int -> unit
     NOT cleaned — as with a hardware card table, only collections clean
     cards ({!refresh_cards}). *)
 
-val iter_dirty : t -> (Obj_store.obj -> unit) -> unit
-(** Iterates the remembered set in hash-table bucket order, skipping dead
+val iter_dirty : t -> (int -> unit) -> unit
+(** Iterates the remembered set's ids in hash-table bucket order, skipping dead
     and no-longer-old entries.  Entries whose young refs were since
     removed by the mutator are still visited (their scan finds nothing
     young), as with real card scanning. *)

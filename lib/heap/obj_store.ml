@@ -1,37 +1,105 @@
-module Vec = Gcperf_util.Vec
 module Ivec = Gcperf_util.Int_vec
+module Crew = Gcperf_exec.Crew
 
 type location = Eden | Survivor | Old | Region of int | Nowhere
 
-type obj = {
-  id : int;
-  mutable size : int;
-  mutable loc : location;
-  mutable age : int;
-  mutable mark_epoch : int;
-  mutable young_refs : int;
-  mutable refs : Ivec.t;
-}
+(* --- struct-of-arrays layout ------------------------------------------
 
-(* The slot table is a bare [obj array] + count rather than an [obj
-   Vec.t]: the element type being known at every access site lets the
-   compiler drop the flat-float-array dispatch a polymorphic array read
-   pays, and [slot]/[get] run on every traced edge. *)
+   One unboxed int-array column per attribute instead of one boxed record
+   per object: a mark loop touches size/location/mark words that sit
+   densely in a handful of arrays rather than chasing a pointer per
+   object into a scattered heap of records.  Locations are small int
+   codes (constant-time compares; [Region r] packs the index into the
+   code), and outgoing references live in one shared CSR edge arena —
+   per-object offset/length/capacity columns into a single [edges] array
+   — so a scan of an object's children is a linear slice walk. *)
+
+let code_eden = 0
+let code_survivor = 1
+let code_old = 2
+let code_nowhere = 3
+let region_base = 4
+
+let[@inline] code_of_loc = function
+  | Eden -> code_eden
+  | Survivor -> code_survivor
+  | Old -> code_old
+  | Nowhere -> code_nowhere
+  | Region r -> region_base + r
+
+let[@inline] loc_of_code c =
+  if c = code_eden then Eden
+  else if c = code_survivor then Survivor
+  else if c = code_old then Old
+  else if c = code_nowhere then Nowhere
+  else Region (c - region_base)
+
+(* Growable int buffer for the parallel-scan scratch; bare record rather
+   than [Int_vec] so the kernel can index the backing array directly. *)
+type buf = { mutable a : int array; mutable n : int }
+
+let buf_create () = { a = [||]; n = 0 }
+
+let[@inline] buf_push b x =
+  if b.n = Array.length b.a then begin
+    let nd = Array.make (if b.n = 0 then 256 else b.n * 2) 0 in
+    Array.blit b.a 0 nd 0 b.n;
+    b.a <- nd
+  end;
+  b.a.(b.n) <- x;
+  b.n <- b.n + 1
+
 type t = {
-  mutable slots : obj array;
+  mutable sizev : int array;
+  mutable agev : int array;
+  mutable locv : int array;
+  mutable markv : int array;  (* epoch stamp; 0 = never marked *)
+  mutable yrefv : int array;  (* outgoing refs targeting young objects *)
+  mutable ref_off : int array;  (* CSR: slice start in [edges] *)
+  mutable ref_len : int array;
+  mutable ref_cap : int array;
+  mutable live_pos : int array;  (* index in [live_list]; -1 when free *)
+  mutable edges : int array;
+  mutable edges_len : int;  (* bump cursor *)
+  mutable edges_garbage : int;  (* entries abandoned by slice regrowth *)
   mutable slot_count : int;
   free_slots : Ivec.t;
-  mutable live : int;
+  live_list : Ivec.t;  (* live ids, unordered (swap-remove) *)
   mutable epoch : int;
+  (* Scratch for the speculative parallel scan (see [finish_trace]). *)
+  mutable scan_stamp : int array;
+  mutable scan_desc : int array;
+  mutable scan_bufs : buf array;  (* per-worker child-list arenas *)
+  mutable scan_outs : buf array;  (* per-worker next-frontier output *)
+  frontier_a : buf;
+  frontier_b : buf;
 }
 
 let create () =
-  { slots = [||]; slot_count = 0; free_slots = Ivec.create ();
-    live = 0; epoch = 0 }
-
-(* Location predicates are pattern matches, never [loc = ...]: structural
-   equality on a variant with a non-constant constructor compiles to a
-   generic-compare C call, which these hot paths cannot afford. *)
+  {
+    sizev = [||];
+    agev = [||];
+    locv = [||];
+    markv = [||];
+    yrefv = [||];
+    ref_off = [||];
+    ref_len = [||];
+    ref_cap = [||];
+    live_pos = [||];
+    edges = [||];
+    edges_len = 0;
+    edges_garbage = 0;
+    slot_count = 0;
+    free_slots = Ivec.create ();
+    live_list = Ivec.create ();
+    epoch = 0;
+    scan_stamp = [||];
+    scan_desc = [||];
+    scan_bufs = [||];
+    scan_outs = [||];
+    frontier_a = buf_create ();
+    frontier_b = buf_create ();
+  }
 
 let[@inline] is_young_loc = function
   | Eden | Survivor -> true
@@ -45,6 +113,40 @@ let[@inline] is_nowhere_loc = function
   | Nowhere -> true
   | Eden | Survivor | Old | Region _ -> false
 
+let[@inline] check t id =
+  if id < 0 || id >= t.slot_count then
+    invalid_arg "Obj_store: id out of bounds"
+
+let[@inline] check_live t id =
+  check t id;
+  if t.locv.(id) = code_nowhere then invalid_arg "Obj_store.get: stale id"
+
+let[@inline] is_live t id =
+  id >= 0 && id < t.slot_count && t.locv.(id) <> code_nowhere
+
+let[@inline] size t id = t.sizev.(id)
+let[@inline] age t id = t.agev.(id)
+let[@inline] set_age t id v = t.agev.(id) <- v
+let[@inline] loc_code t id = t.locv.(id)
+let[@inline] loc t id = loc_of_code t.locv.(id)
+let[@inline] young_refs t id = t.yrefv.(id)
+
+let[@inline] is_young t id = t.locv.(id) <= code_survivor
+let[@inline] is_old t id = t.locv.(id) = code_old
+let[@inline] is_nowhere t id = t.locv.(id) = code_nowhere
+
+let[@inline] region_index t id =
+  let c = t.locv.(id) in
+  if c >= region_base then c - region_base else -1
+
+let[@inline] in_region t id idx = t.locv.(id) = region_base + idx
+
+let[@inline] set_loc t id l = t.locv.(id) <- code_of_loc l
+let[@inline] set_loc_eden t id = t.locv.(id) <- code_eden
+let[@inline] set_loc_survivor t id = t.locv.(id) <- code_survivor
+let[@inline] set_loc_old t id = t.locv.(id) <- code_old
+let[@inline] set_loc_region t id idx = t.locv.(id) <- region_base + idx
+
 (* --- epoch-stamped marks --------------------------------------------- *)
 
 (* A trace bumps the store's epoch and stamps reached objects with it;
@@ -53,146 +155,443 @@ let[@inline] is_nowhere_loc = function
 
 let[@inline] begin_trace t = t.epoch <- t.epoch + 1
 
-let[@inline] mark t o = o.mark_epoch <- t.epoch
+let[@inline] mark t id = t.markv.(id) <- t.epoch
 
-let[@inline] is_marked t o = o.mark_epoch = t.epoch
+let[@inline] is_marked t id = t.markv.(id) = t.epoch
 
-let[@inline] unmark o = o.mark_epoch <- 0
+let[@inline] unmark t id = t.markv.(id) <- 0
 
-let alloc t ~size ~loc =
+(* --- allocation ------------------------------------------------------- *)
+
+let[@inline never] grow_columns t =
+  let cap = Array.length t.sizev in
+  let ncap = if cap = 0 then 8 else cap * 2 in
+  let extend col =
+    let nd = Array.make ncap 0 in
+    Array.blit col 0 nd 0 cap;
+    nd
+  in
+  t.sizev <- extend t.sizev;
+  t.agev <- extend t.agev;
+  t.locv <- extend t.locv;
+  t.markv <- extend t.markv;
+  t.yrefv <- extend t.yrefv;
+  t.ref_off <- extend t.ref_off;
+  t.ref_len <- extend t.ref_len;
+  t.ref_cap <- extend t.ref_cap;
+  t.live_pos <- extend t.live_pos
+
+let[@inline] alloc_code t ~size ~code =
   assert (size > 0);
-  t.live <- t.live + 1;
-  if Ivec.is_empty t.free_slots then begin
-    let id = t.slot_count in
-    let o =
-      { id; size; loc; age = 0; mark_epoch = 0; young_refs = 0;
-        refs = Ivec.create () }
-    in
-    if id = Array.length t.slots then begin
-      let ns = Array.make (if id = 0 then 8 else id * 2) o in
-      Array.blit t.slots 0 ns 0 id;
-      t.slots <- ns
-    end;
-    t.slots.(id) <- o;
-    t.slot_count <- id + 1;
-    id
-  end
-  else begin
-    let id = Ivec.pop t.free_slots in
-    let o = t.slots.(id) in
-    o.size <- size;
-    o.loc <- loc;
-    o.age <- 0;
-    o.mark_epoch <- 0;
-    o.young_refs <- 0;
-    (* [refs] was cleared by [free]; slots only reach the free list that
-       way, so there is nothing to clear here. *)
-    id
-  end
+  let id =
+    if Ivec.is_empty t.free_slots then begin
+      let id = t.slot_count in
+      if id = Array.length t.sizev then grow_columns t;
+      t.slot_count <- id + 1;
+      id
+      (* fresh columns are zero-filled: the ref slice starts empty *)
+    end
+    else Ivec.pop t.free_slots
+    (* the recycled slot's ref slice was emptied by [free] and keeps its
+       arena capacity, exactly as the per-object vectors used to *)
+  in
+  t.sizev.(id) <- size;
+  t.locv.(id) <- code;
+  t.agev.(id) <- 0;
+  t.markv.(id) <- 0;
+  t.yrefv.(id) <- 0;
+  t.live_pos.(id) <- Ivec.length t.live_list;
+  Ivec.push t.live_list id;
+  id
 
-let[@inline] check t id =
-  if id < 0 || id >= t.slot_count then
-    invalid_arg "Obj_store: id out of bounds"
+let alloc t ~size ~loc = alloc_code t ~size ~code:(code_of_loc loc)
 
-let[@inline] get t id =
-  check t id;
-  let o = t.slots.(id) in
-  if is_nowhere_loc o.loc then invalid_arg "Obj_store.get: stale id";
-  o
-
-(* One fetch for trace loops that would otherwise pay [is_live] followed
-   by [get] (two fetches, three checks) per visited edge.  Callers match
-   on [loc]: [Nowhere] means the slot is free.  Every id stored in a root
-   set, registry or ref vector was validated when it was recorded and the
-   slot table never shrinks, so the [Vec.get] bounds check suffices. *)
-let[@inline] slot t id =
-  check t id;
-  t.slots.(id)
-
-let[@inline] is_live t id =
-  id >= 0 && id < t.slot_count
-  && not (is_nowhere_loc t.slots.(id).loc)
-
-(* [free_obj] frees through an already-fetched slot — sweep loops hold
-   the object in hand and need not pay a second table lookup. *)
-let free_obj t o =
-  if is_nowhere_loc o.loc then invalid_arg "Obj_store.free: double free";
-  o.loc <- Nowhere;
-  o.mark_epoch <- 0;
-  o.young_refs <- 0;
-  Ivec.clear o.refs;
-  t.live <- t.live - 1;
-  Ivec.push t.free_slots o.id
+let alloc_region t ~size ~region =
+  alloc_code t ~size ~code:(region_base + region)
 
 let free t id =
   check t id;
-  free_obj t t.slots.(id)
+  if t.locv.(id) = code_nowhere then invalid_arg "Obj_store.free: double free";
+  t.locv.(id) <- code_nowhere;
+  t.markv.(id) <- 0;
+  t.yrefv.(id) <- 0;
+  t.ref_len.(id) <- 0;
+  let p = t.live_pos.(id) in
+  ignore (Ivec.swap_remove t.live_list p);
+  if p < Ivec.length t.live_list then t.live_pos.(Ivec.get t.live_list p) <- p;
+  t.live_pos.(id) <- -1;
+  Ivec.push t.free_slots id
+
+(* --- CSR edge arena --------------------------------------------------- *)
+
+(* Slices grow by relocating to the bump end of the arena; the abandoned
+   block counts as garbage.  When the arena itself runs out, it is rebuilt
+   tight (slices packed in id order, capacities collapsed to lengths) into
+   a store at least twice the live size — one deterministic path covering
+   both growth and compaction.  Rebuilds only happen from the mutator-
+   facing ref operations, never mid-trace, so trace kernels can cache the
+   [edges] array. *)
+
+let[@inline never] rebuild_edges t need =
+  let live = t.edges_len - t.edges_garbage in
+  let target = live + need in
+  let ncap = ref (max 64 (Array.length t.edges)) in
+  while !ncap < target * 2 do
+    ncap := !ncap * 2
+  done;
+  let nd = Array.make !ncap 0 in
+  let pos = ref 0 in
+  for id = 0 to t.slot_count - 1 do
+    let len = t.ref_len.(id) in
+    if len > 0 then Array.blit t.edges t.ref_off.(id) nd !pos len;
+    t.ref_off.(id) <- !pos;
+    t.ref_cap.(id) <- len;
+    pos := !pos + len
+  done;
+  t.edges <- nd;
+  t.edges_len <- !pos;
+  t.edges_garbage <- 0
+
+let[@inline] reserve_edges t need =
+  if t.edges_len + need > Array.length t.edges then rebuild_edges t need
+
+let[@inline never] grow_ref t id =
+  let ncap =
+    let c = t.ref_cap.(id) in
+    if c = 0 then 4 else c * 2
+  in
+  reserve_edges t ncap;
+  (* re-read after a possible rebuild *)
+  let off = t.ref_off.(id)
+  and len = t.ref_len.(id)
+  and cap = t.ref_cap.(id) in
+  let noff = t.edges_len in
+  Array.blit t.edges off t.edges noff len;
+  t.edges_len <- noff + ncap;
+  t.ref_off.(id) <- noff;
+  t.ref_cap.(id) <- ncap;
+  t.edges_garbage <- t.edges_garbage + cap
+
+let[@inline] push_ref t id x =
+  if t.ref_len.(id) = t.ref_cap.(id) then grow_ref t id;
+  let len = t.ref_len.(id) in
+  t.edges.(t.ref_off.(id) + len) <- x;
+  t.ref_len.(id) <- len + 1
+
+let[@inline] ref_count t id = t.ref_len.(id)
+
+let[@inline] ref_at t id i = t.edges.(t.ref_off.(id) + i)
+
+let iter_refs t id f =
+  let off = t.ref_off.(id) in
+  let edges = t.edges in
+  for i = off to off + t.ref_len.(id) - 1 do
+    f edges.(i)
+  done
+
+let refs_array t id = Array.sub t.edges t.ref_off.(id) t.ref_len.(id)
+
+let refs_list t id = Array.to_list (refs_array t id)
 
 (* --- references and the young-ref counter ----------------------------- *)
 
-(* [young_refs] counts outgoing references whose target currently sits in
-   a young space.  It is maintained exactly by the mutator-facing
+(* [yrefv] counts outgoing references whose target currently sits in a
+   young space.  It is maintained exactly by the mutator-facing
    operations below; collectors re-derive it with {!recount_young_refs}
    for the objects whose children may have moved or died during a
    collection (targets never change space between collections, so the
    counter stays exact in steady state). *)
 
 let add_ref t ~from ~to_ =
-  let o = get t from in
-  let c = get t to_ in
-  if is_young_loc c.loc then o.young_refs <- o.young_refs + 1;
-  Ivec.push o.refs to_
+  check_live t from;
+  check_live t to_;
+  if t.locv.(to_) <= code_survivor then t.yrefv.(from) <- t.yrefv.(from) + 1;
+  push_ref t from to_
 
 let remove_ref t ~from ~to_ =
-  let o = get t from in
-  let n = Ivec.length o.refs in
+  check_live t from;
+  let off = t.ref_off.(from) and n = t.ref_len.(from) in
+  let edges = t.edges in
   let rec find i =
-    if i >= n then -1 else if Ivec.get o.refs i = to_ then i else find (i + 1)
+    if i >= n then -1 else if edges.(off + i) = to_ then i else find (i + 1)
   in
   let i = find 0 in
   if i >= 0 then begin
-    ignore (Ivec.swap_remove o.refs i);
-    if
-      to_ >= 0
-      && to_ < t.slot_count
-      && is_young_loc t.slots.(to_).loc
-    then o.young_refs <- o.young_refs - 1
+    edges.(off + i) <- edges.(off + n - 1);
+    t.ref_len.(from) <- n - 1;
+    if to_ >= 0 && to_ < t.slot_count && t.locv.(to_) <= code_survivor then
+      t.yrefv.(from) <- t.yrefv.(from) - 1
   end
 
+let clear_refs t id =
+  check_live t id;
+  t.ref_len.(id) <- 0;
+  t.yrefv.(id) <- 0
+
 let set_refs t id refs =
-  let o = get t id in
-  Ivec.clear o.refs;
-  o.young_refs <- 0;
-  List.iter
-    (fun r ->
-      let c = get t r in
-      if is_young_loc c.loc then o.young_refs <- o.young_refs + 1;
-      Ivec.push o.refs r)
-    refs
-
-let recount_young_refs t o =
-  (* freed targets carry [Nowhere], which fails [is_young_loc]; a manual
-     loop keeps this allocation-free (no closure over an accumulator) *)
-  let refs = o.refs in
-  let n = ref 0 in
-  for i = 0 to Ivec.length refs - 1 do
-    if is_young_loc t.slots.(Ivec.get refs i).loc then incr n
-  done;
-  o.young_refs <- !n
-
-let[@inline] live_count t = t.live
-
-let live_ids t =
-  let acc = Ivec.create () in
-  for i = 0 to t.slot_count - 1 do
-    if not (is_nowhere_loc t.slots.(i).loc) then Ivec.push acc i
-  done;
-  acc
-
-let iter_live t f =
-  for i = 0 to t.slot_count - 1 do
-    let o = t.slots.(i) in
-    if not (is_nowhere_loc o.loc) then f o
+  check_live t id;
+  let n = Array.length refs in
+  if n > t.ref_cap.(id) then begin
+    reserve_edges t n;
+    let abandoned = t.ref_cap.(id) in
+    t.ref_off.(id) <- t.edges_len;
+    t.ref_cap.(id) <- n;
+    t.edges_len <- t.edges_len + n;
+    t.edges_garbage <- t.edges_garbage + abandoned
+  end;
+  t.ref_len.(id) <- 0;
+  t.yrefv.(id) <- 0;
+  let off = t.ref_off.(id) in
+  for i = 0 to n - 1 do
+    let r = refs.(i) in
+    check_live t r;
+    t.edges.(off + i) <- r;
+    t.ref_len.(id) <- i + 1;
+    if t.locv.(r) <= code_survivor then t.yrefv.(id) <- t.yrefv.(id) + 1
   done
 
+let recount_young_refs t id =
+  let off = t.ref_off.(id) in
+  let edges = t.edges and locv = t.locv in
+  let n = ref 0 in
+  for i = off to off + t.ref_len.(id) - 1 do
+    if locv.(edges.(i)) <= code_survivor then incr n
+  done;
+  t.yrefv.(id) <- !n
+
+(* --- live-id iteration ------------------------------------------------ *)
+
+(* The live list makes these O(live), not O(capacity): a heap that has
+   shrunk does not pay for its peak.  Iteration sorts a copy — ids
+   ascending is the order the O(capacity) scan gave, and downstream
+   consumers (G1's remembered-set rebuild) depend on it. *)
+
+let[@inline] live_count t = Ivec.length t.live_list
+
+let sorted_live t =
+  let a = Ivec.to_array t.live_list in
+  Array.sort (fun (x : int) y -> compare x y) a;
+  a
+
+let live_ids t =
+  let a = sorted_live t in
+  let acc = Ivec.create ~capacity:(max 1 (Array.length a)) () in
+  Array.iter (fun id -> Ivec.push acc id) a;
+  acc
+
+let iter_live t f = Array.iter f (sorted_live t)
+
 let[@inline] capacity t = t.slot_count
+
+(* --- trace kernel ------------------------------------------------------
+
+   [finish_trace] runs a trace to closure from an already-seeded stack:
+   pop a vertex, scan its references, and mark/push every unmarked child
+   the predicate admits.  Every artifact in the goldens depends on the
+   exact discovery order of this loop — survivor-budget overflow,
+   evacuation bump-packing, free-slot recycling and remembered-set bucket
+   orders all descend from it — so the parallel path must reproduce it
+   bit for bit.
+
+   Determinism contract: worker domains never mark.  They compute the
+   *speculative closure* — a superset-free cache of each reachable
+   vertex's predicate-filtered child list, claimed via a separate stamp
+   column — and the marking automaton then replays sequentially over the
+   cached lists in exactly the order the sequential loop would have used.
+   Child lists preserve reference order; a vertex scanned twice (claim
+   races are benign: both writers record the same list contents) gets
+   whichever single-word descriptor lands last.  Marks, the marked
+   vector, and everything downstream are byte-identical at any worker
+   count, including zero. *)
+
+type trace_pred = Trace_young | Trace_live | Trace_regions of bool array
+
+(* Packed scan descriptor: arena offset | filtered-child count | owner. *)
+let desc_owner_bits = 8
+let desc_len_bits = 20
+let desc_owner_mask = (1 lsl desc_owner_bits) - 1
+let desc_len_mask = (1 lsl desc_len_bits) - 1
+let desc_len_shift = desc_owner_bits
+let desc_off_shift = desc_owner_bits + desc_len_bits
+
+let default_domains = Atomic.make 1
+let set_default_trace_domains n = Atomic.set default_domains (max 1 n)
+let default_trace_domains () = Atomic.get default_domains
+
+let par_threshold = Atomic.make 64
+let set_par_trace_threshold n = Atomic.set par_threshold (max 0 n)
+let par_trace_threshold () = Atomic.get par_threshold
+
+let sequential_finish t ~pred ~marked ~stack =
+  let edges = t.edges
+  and ref_off = t.ref_off
+  and ref_len = t.ref_len
+  and markv = t.markv
+  and locv = t.locv
+  and ep = t.epoch in
+  while not (Ivec.is_empty stack) do
+    let v = Ivec.pop stack in
+    let off = ref_off.(v) in
+    for i = off to off + ref_len.(v) - 1 do
+      let c = edges.(i) in
+      let admit =
+        match pred with
+        | Trace_young -> locv.(c) <= code_survivor
+        | Trace_live -> locv.(c) <> code_nowhere
+        | Trace_regions rs ->
+            let l = locv.(c) in
+            l >= region_base && rs.(l - region_base)
+      in
+      if admit && markv.(c) <> ep then begin
+        markv.(c) <- ep;
+        Ivec.push marked c;
+        Ivec.push stack c
+      end
+    done
+  done
+
+let ensure_scan t slots =
+  if Array.length t.scan_stamp < Array.length t.sizev then begin
+    (* Fresh zero arrays suffice: epoch stamps are monotonically above 0,
+       and descriptors are garbage until stamped. *)
+    t.scan_stamp <- Array.make (Array.length t.sizev) 0;
+    t.scan_desc <- Array.make (Array.length t.sizev) 0
+  end;
+  if Array.length t.scan_bufs < slots then begin
+    let extend old =
+      Array.init slots (fun i ->
+          if i < Array.length old then old.(i) else buf_create ())
+    in
+    t.scan_bufs <- extend t.scan_bufs;
+    t.scan_outs <- extend t.scan_outs
+  end
+
+let scan_block = 64
+
+(* Phase 1: compute the speculative closure in parallel.  Returns false
+   when the crew is unavailable (another domain holds it) and the caller
+   must fall back to the sequential loop. *)
+let speculative_scan t ~pred ~stack ~domains =
+  Crew.try_with ~domains (fun crew ->
+      let slots = Crew.size crew in
+      ensure_scan t slots;
+      let ep = t.epoch in
+      let stamp = t.scan_stamp
+      and desc = t.scan_desc
+      and bufs = t.scan_bufs
+      and outs = t.scan_outs
+      and edges = t.edges
+      and ref_off = t.ref_off
+      and ref_len = t.ref_len
+      and locv = t.locv in
+      for i = 0 to slots - 1 do
+        bufs.(i).n <- 0
+      done;
+      let cur = ref t.frontier_a and nxt = ref t.frontier_b in
+      (!cur).n <- 0;
+      Ivec.iter
+        (fun v ->
+          stamp.(v) <- ep;
+          buf_push !cur v)
+        stack;
+      let cursor = Atomic.make 0 in
+      while (!cur).n > 0 do
+        let fdata = (!cur).a and flen = (!cur).n in
+        for i = 0 to slots - 1 do
+          outs.(i).n <- 0
+        done;
+        Atomic.set cursor 0;
+        Crew.run crew (fun slot ->
+            if slot < slots then begin
+              let arena = bufs.(slot) and out = outs.(slot) in
+              let more = ref true in
+              while !more do
+                let b = Atomic.fetch_and_add cursor scan_block in
+                if b >= flen then more := false
+                else begin
+                  let hi = min flen (b + scan_block) in
+                  for fi = b to hi - 1 do
+                    let v = fdata.(fi) in
+                    let off = ref_off.(v) in
+                    let off0 = arena.n in
+                    for e = off to off + ref_len.(v) - 1 do
+                      let c = edges.(e) in
+                      let admit =
+                        match pred with
+                        | Trace_young -> locv.(c) <= code_survivor
+                        | Trace_live -> locv.(c) <> code_nowhere
+                        | Trace_regions rs ->
+                            let l = locv.(c) in
+                            l >= region_base && rs.(l - region_base)
+                      in
+                      if admit then begin
+                        buf_push arena c;
+                        if stamp.(c) <> ep then begin
+                          stamp.(c) <- ep;
+                          buf_push out c
+                        end
+                      end
+                    done;
+                    let run = arena.n - off0 in
+                    assert (run <= desc_len_mask);
+                    desc.(v) <-
+                      (off0 lsl desc_off_shift)
+                      lor (run lsl desc_len_shift)
+                      lor slot
+                  done
+                end
+              done
+            end);
+        (* Barrier passed: merge the per-worker discoveries into the next
+           frontier.  Claim races mean a vertex can appear in two outputs
+           and be re-scanned next round; both scans record identical
+           child lists, so the descriptor race is benign. *)
+        (!nxt).n <- 0;
+        for i = 0 to slots - 1 do
+          let o = outs.(i) in
+          for j = 0 to o.n - 1 do
+            buf_push !nxt o.a.(j)
+          done
+        done;
+        let tmp = !cur in
+        cur := !nxt;
+        nxt := tmp
+      done)
+
+(* Phase 2: the sequential marking automaton, reading cached filtered
+   child lists instead of the CSR slices.  Identical pop/scan/mark order
+   to [sequential_finish] — the predicate was already applied per child
+   during the scan and locations cannot change mid-trace. *)
+let replay t ~marked ~stack =
+  let desc = t.scan_desc
+  and bufs = t.scan_bufs
+  and markv = t.markv
+  and ep = t.epoch in
+  while not (Ivec.is_empty stack) do
+    let v = Ivec.pop stack in
+    let d = desc.(v) in
+    let owner = d land desc_owner_mask in
+    let len = (d lsr desc_len_shift) land desc_len_mask in
+    let off = d lsr desc_off_shift in
+    let a = bufs.(owner).a in
+    for i = off to off + len - 1 do
+      let c = a.(i) in
+      if markv.(c) <> ep then begin
+        markv.(c) <- ep;
+        Ivec.push marked c;
+        Ivec.push stack c
+      end
+    done
+  done
+
+let finish_trace t ~pred ~marked ~stack ~domains =
+  if
+    domains > 1
+    && Ivec.length stack >= Atomic.get par_threshold
+    && speculative_scan t ~pred ~stack ~domains
+  then replay t ~marked ~stack
+  else sequential_finish t ~pred ~marked ~stack
+
+(* Debug/bench introspection. *)
+let edges_capacity t = Array.length t.edges
+let edges_garbage t = t.edges_garbage

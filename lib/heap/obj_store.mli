@@ -1,16 +1,17 @@
-(** Simulated object store.
+(** Simulated object store, struct-of-arrays layout.
 
-    Every simulated heap object lives in this arena.  An object carries the
-    attributes the collectors need — size in (simulated) bytes, age in
-    survived collections, location, mark stamp and outgoing references — and
-    is identified by a dense integer id so collectors can use flat arrays
-    and vectors for work lists.
+    Every simulated heap object lives in this arena, identified by a
+    dense integer id.  Attributes are parallel unboxed int-array columns
+    (size, age, location code, mark epoch, young-ref count) and outgoing
+    references are CSR slices — per-object offset/length into one shared
+    edge arena — so the collectors' hot loops are linear walks over flat
+    int arrays with no per-object boxing or pointer chasing.
 
-    An object here stands for a {e cluster} of real Java objects allocated
-    together (see DESIGN.md §6, "scale factor"): sizes are real bytes, so a
-    64 GB heap holds on the order of 10^5 clusters instead of 10^9 objects,
-    while tracing, copying and promotion still operate on a genuine object
-    graph. *)
+    An object here stands for a {e cluster} of real Java objects
+    allocated together (see DESIGN.md §6, "scale factor"): sizes are real
+    bytes, so a 64 GB heap holds on the order of 10^5 clusters instead of
+    10^9 objects, while tracing, copying and promotion still operate on a
+    genuine object graph. *)
 
 type location =
   | Eden
@@ -18,21 +19,6 @@ type location =
   | Old
   | Region of int  (** G1 region index *)
   | Nowhere  (** free slot *)
-
-type obj = {
-  id : int;
-  mutable size : int;
-  mutable loc : location;
-  mutable age : int;
-  mutable mark_epoch : int;
-      (** epoch stamp; the object is marked iff this equals the store's
-          current trace epoch (see {!begin_trace}) *)
-  mutable young_refs : int;
-      (** outgoing references currently targeting a young-space object;
-          maintained by {!add_ref}/{!remove_ref}/{!set_refs} and re-derived
-          by collectors via {!recount_young_refs} after objects move *)
-  mutable refs : Gcperf_util.Int_vec.t;  (** outgoing references (object ids) *)
-}
 
 type t
 
@@ -42,38 +28,81 @@ val is_young_loc : location -> bool
 (** Whether the location is a young space (eden or survivor). *)
 
 val is_old_loc : location -> bool
-(** Whether the location is the contiguous old generation.  A pattern
-    match, unlike [loc = Old] which would be a generic compare. *)
+(** Whether the location is the contiguous old generation. *)
 
 val is_nowhere_loc : location -> bool
 (** Whether the location marks a freed slot. *)
+
+(** {1 Per-object attributes}
+
+    Accessors index the columns directly: only the array bounds check
+    runs, no liveness check.  Ids recorded in registries, root sets and
+    reference slices were validated when recorded, and the slot table
+    never shrinks.  A freed slot reads as [Nowhere]. *)
+
+val size : t -> int -> int
+val age : t -> int -> int
+val set_age : t -> int -> int -> unit
+
+val loc : t -> int -> location
+(** Decoded location.  Allocates for [Region _]; hot paths should use the
+    predicates or {!loc_code} instead. *)
+
+val loc_code : t -> int -> int
+(** Raw location code: [Eden] 0, [Survivor] 1, [Old] 2, [Nowhere] 3,
+    [Region r] [4 + r]. *)
+
+val young_refs : t -> int -> int
+(** Outgoing references currently targeting a young-space object;
+    maintained by {!add_ref}/{!remove_ref}/{!set_refs} and re-derived by
+    collectors via {!recount_young_refs} after objects move. *)
+
+val is_young : t -> int -> bool
+val is_old : t -> int -> bool
+val is_nowhere : t -> int -> bool
+
+val region_index : t -> int -> int
+(** The object's G1 region index, or [-1] when not region-allocated. *)
+
+val in_region : t -> int -> int -> bool
+(** [in_region t id idx] — whether the object sits in region [idx]. *)
+
+val set_loc : t -> int -> location -> unit
+
+val set_loc_eden : t -> int -> unit
+val set_loc_survivor : t -> int -> unit
+val set_loc_old : t -> int -> unit
+
+val set_loc_region : t -> int -> int -> unit
+(** Allocation-free variants of {!set_loc} for the move/promote loops. *)
+
+(** {1 Epoch-stamped marks} *)
 
 val begin_trace : t -> unit
 (** Starts a new trace epoch.  Marks from earlier traces become stale
     implicitly — there is no clearing pass. *)
 
-val mark : t -> obj -> unit
+val mark : t -> int -> unit
 (** Stamps the object with the current trace epoch. *)
 
-val is_marked : t -> obj -> bool
+val is_marked : t -> int -> bool
 (** Whether the object was marked during the current trace epoch. *)
 
-val unmark : obj -> unit
-(** Clears the object's stamp (rarely needed; collections normally rely on
-    epoch staleness instead). *)
+val unmark : t -> int -> unit
+(** Clears the object's stamp (rarely needed; collections normally rely
+    on epoch staleness instead). *)
+
+(** {1 Allocation} *)
 
 val alloc : t -> size:int -> loc:location -> int
 (** Allocates a fresh object (recycling a free slot when possible) and
     returns its id.  The object starts with age 0, unmarked, no refs. *)
 
-val get : t -> int -> obj
-(** @raise Invalid_argument on a stale or out-of-range id. *)
+val alloc_region : t -> size:int -> region:int -> int
+(** [alloc] into a G1 region without boxing a [Region] constructor. *)
 
-val slot : t -> int -> obj
-(** [slot t id] fetches the slot without a liveness check: the result may
-    be a freed slot, signalled by [loc = Nowhere].  One fetch instead of
-    the [is_live]-then-[get] pair — for trace loops.
-    @raise Invalid_argument if [id] is outside the slot table. *)
+val check_live : t -> int -> unit
+(** @raise Invalid_argument on a stale or out-of-range id. *)
 
 val is_live : t -> int -> bool
 (** Whether the id denotes a currently-allocated object. *)
@@ -82,9 +111,13 @@ val free : t -> int -> unit
 (** Returns the object's slot to the free pool.  The id becomes stale.
     Raises [Invalid_argument] on an id that is already free. *)
 
-val free_obj : t -> obj -> unit
-(** {!free} through an already-fetched slot: sweep loops that hold the
-    object skip the second table lookup. *)
+(** {1 References}
+
+    Outgoing references are CSR slices in the shared edge arena.  A slice
+    grows by relocating to the arena's bump end; when the arena fills it
+    is rebuilt tight (compacting relocation garbage) at twice the live
+    size.  Rebuilds happen only inside these mutator-facing operations,
+    never during a trace. *)
 
 val add_ref : t -> from:int -> to_:int -> unit
 
@@ -92,19 +125,95 @@ val remove_ref : t -> from:int -> to_:int -> unit
 (** Removes one occurrence in O(found position) by swapping with the last
     entry; no-op if absent.  Reference order is not preserved. *)
 
-val set_refs : t -> int -> int list -> unit
+val set_refs : t -> int -> int array -> unit
+(** Replaces the object's references.  The array is copied; an
+    allocation-free overwrite for callers that already hold an array. *)
 
-val recount_young_refs : t -> obj -> unit
-(** Recomputes [young_refs] from the object's current references and their
-    targets' current locations (dead targets count as not-young). *)
+val clear_refs : t -> int -> unit
+(** Drops all outgoing references ([set_refs t id [||]] without the
+    array). *)
+
+val ref_count : t -> int -> int
+
+val ref_at : t -> int -> int -> int
+(** [ref_at t id i] — the [i]th outgoing reference.  Unchecked beyond the
+    arena bounds; pair with {!ref_count}. *)
+
+val iter_refs : t -> int -> (int -> unit) -> unit
+
+val refs_array : t -> int -> int array
+(** Fresh copy of the reference slice, in reference order. *)
+
+val refs_list : t -> int -> int list
+
+val recount_young_refs : t -> int -> unit
+(** Recomputes the young-ref counter from the object's current references
+    and their targets' current locations (dead targets count as
+    not-young). *)
+
+(** {1 Live-id iteration}
+
+    Backed by a live-id list maintained on alloc/free — O(live), not
+    O(capacity), so a heap that has shrunk does not pay for its peak. *)
 
 val live_count : t -> int
 
 val live_ids : t -> Gcperf_util.Int_vec.t
-(** Ids of all live objects, ascending, as a fresh vector.  O(capacity);
-    test/debug use. *)
+(** Ids of all live objects, ascending, as a fresh vector. *)
 
-val iter_live : t -> (obj -> unit) -> unit
+val iter_live : t -> (int -> unit) -> unit
+(** Iterates live ids in ascending order (the order downstream
+    remembered-set rebuilds depend on). *)
 
 val capacity : t -> int
 (** Total slots ever allocated (live + recyclable). *)
+
+(** {1 Trace kernel}
+
+    [finish_trace] runs a seeded trace to closure: pop a vertex, scan its
+    references, mark/push unmarked children admitted by the predicate.
+    With [domains > 1] and a stack at least {!par_trace_threshold} deep,
+    a crew of worker domains first computes the speculative closure (a
+    cache of each reachable vertex's predicate-filtered child list) and
+    the marking automaton then replays sequentially over the cache.
+
+    Determinism contract: workers never mark; the replay performs the
+    exact pop/scan/mark sequence of the sequential loop, so the marked
+    vector — and every artifact downstream of discovery order — is
+    byte-identical at any domain count, parallel or not. *)
+
+type trace_pred =
+  | Trace_young  (** admit young objects (eden or survivor) *)
+  | Trace_live  (** admit everything allocated *)
+  | Trace_regions of bool array
+      (** admit objects in the flagged G1 regions *)
+
+val finish_trace :
+  t ->
+  pred:trace_pred ->
+  marked:Gcperf_util.Int_vec.t ->
+  stack:Gcperf_util.Int_vec.t ->
+  domains:int ->
+  unit
+(** [stack] holds the seeds (already marked, already in [marked]); on
+    return it is empty and [marked] holds the closure in discovery
+    order. *)
+
+val set_default_trace_domains : int -> unit
+(** Process-global default for intra-collection trace parallelism,
+    consumed by collectors at context creation (CLI [--trace-jobs]).
+    Clamped to at least 1 (sequential). *)
+
+val default_trace_domains : unit -> int
+
+val set_par_trace_threshold : int -> unit
+(** Minimum seed-stack depth before [finish_trace] engages the crew;
+    below it the sequential loop is always faster.  Tests lower it to
+    exercise the parallel kernel on small graphs. *)
+
+val par_trace_threshold : unit -> int
+
+(**/**)
+
+val edges_capacity : t -> int
+val edges_garbage : t -> int

@@ -1,4 +1,5 @@
 module Vec = Gcperf_util.Int_vec
+module Bitset = Gcperf_util.Bitset
 
 type region_kind = Free | Eden | Survivor | Old_region | Humongous
 
@@ -19,6 +20,9 @@ type t = {
   regions : region array;
   mutable current_alloc : int;
   mutable free_count : int;
+  free_bits : Bitset.t;
+      (* membership mirror of [kind = Free]: the allocator's find-first
+         is a word scan instead of a region-table walk *)
   mutable young_target_bytes : int;
   mutable allocated_bytes : int;
   mutable promoted_bytes : int;
@@ -37,14 +41,19 @@ let[@inline] is_free_kind = function
   | Free -> true
   | Eden | Survivor | Old_region | Humongous -> false
 
-(* Every [kind] transition goes through here so [free_count] stays exact
-   (an O(1) [free_regions] — the allocation slow-path consults it on
-   every request, so a fold over the region table is a per-alloc tax). *)
+(* Every [kind] transition goes through here so [free_count] and the
+   free bitset stay exact (an O(1) [free_regions] and an O(words)
+   find-first — the allocation slow-path consults both on every request,
+   so a fold over the region table is a per-alloc tax). *)
 let[@inline] set_kind t r kind =
   (match (r.kind, kind) with
   | Free, Free -> ()
-  | Free, _ -> t.free_count <- t.free_count - 1
-  | _, Free -> t.free_count <- t.free_count + 1
+  | Free, _ ->
+      t.free_count <- t.free_count - 1;
+      Bitset.clear t.free_bits r.idx
+  | _, Free ->
+      t.free_count <- t.free_count + 1;
+      Bitset.set t.free_bits r.idx
   | _, _ -> ());
   r.kind <- kind
 
@@ -67,6 +76,10 @@ let create store ~heap_bytes ?(target_regions = 1024) () =
           hum_len = 0;
         })
   in
+  let free_bits = Bitset.create ~capacity:n () in
+  for i = 0 to n - 1 do
+    Bitset.set free_bits i
+  done;
   {
     store;
     heap_bytes;
@@ -74,6 +87,7 @@ let create store ~heap_bytes ?(target_regions = 1024) () =
     regions;
     current_alloc = -1;
     free_count = n;
+    free_bits;
     young_target_bytes = region_size;
     allocated_bytes = 0;
     promoted_bytes = 0;
@@ -94,11 +108,10 @@ let set_young_target t ~bytes =
 let young_target_regions t =
   (t.young_target_bytes + t.region_size - 1) / t.region_size
 
-let region_of t (o : Obj_store.obj) =
-  match o.loc with
-  | Obj_store.Region r -> t.regions.(r)
-  | Obj_store.Eden | Obj_store.Survivor | Obj_store.Old | Obj_store.Nowhere ->
-      invalid_arg "Region_heap.region_of: object not in a region"
+let region_of t id =
+  let r = Obj_store.region_index t.store id in
+  if r < 0 then invalid_arg "Region_heap.region_of: object not in a region"
+  else t.regions.(r)
 
 let count_kind t k =
   if is_free_kind k then t.free_count
@@ -112,28 +125,48 @@ let used_of_kind t k =
     (fun acc r -> if kind_eq r.kind k then acc + r.used else acc)
     0 t.regions
 
+(* The two occupancy sums the G1 collector reads around every pause —
+   eden+survivor and old+humongous — each fold the region table once
+   here instead of once per kind (integer sums, so the grouping is
+   exact either way). *)
+let used_young t =
+  Array.fold_left
+    (fun acc r ->
+      match r.kind with
+      | Eden | Survivor -> acc + r.used
+      | Free | Old_region | Humongous -> acc)
+    0 t.regions
+
+let used_old_hum t =
+  Array.fold_left
+    (fun acc r ->
+      match r.kind with
+      | Old_region | Humongous -> acc + r.used
+      | Free | Eden | Survivor -> acc)
+    0 t.regions
+
 let free_regions t = t.free_count
 
 let heap_used t = Array.fold_left (fun acc r -> acc + r.used) 0 t.regions
 
 let take_free_region t kind =
-  let rec find i =
-    if i >= Array.length t.regions then None
-    else if is_free_kind t.regions.(i).kind then begin
+  if t.free_count = 0 then None
+  else begin
+    let i = Bitset.next_set t.free_bits 0 in
+    if i < 0 then None
+    else begin
       let r = t.regions.(i) in
       set_kind t r kind;
       r.used <- 0;
       r.live_bytes <- 0;
       Some r
     end
-    else find (i + 1)
-  in
-  if t.free_count = 0 then None else find 0
+  end
 
 let alloc_in_region t r ~size =
   if r.used + size > t.region_size then None
   else begin
-    let id = Obj_store.alloc t.store ~size ~loc:(Obj_store.Region r.idx) in
+    let id = Obj_store.alloc_region t.store ~size ~region:r.idx in
     r.used <- r.used + size;
     Vec.push r.objects id;
     t.allocated_bytes <- t.allocated_bytes + size;
@@ -182,7 +215,7 @@ let alloc_humongous t ~size =
   | None -> None
   | Some start ->
       let head = t.regions.(start) in
-      let id = Obj_store.alloc t.store ~size ~loc:(Obj_store.Region start) in
+      let id = Obj_store.alloc_region t.store ~size ~region:start in
       Vec.push head.objects id;
       head.hum_len <- needed;
       let remaining = ref size in
@@ -198,9 +231,9 @@ let alloc_humongous t ~size =
       Some id
 
 let release_humongous t id =
-  let o = Obj_store.get t.store id in
-  match o.Obj_store.loc with
-  | Obj_store.Region start ->
+  Obj_store.check_live t.store id;
+  match Obj_store.region_index t.store id with
+  | start when start >= 0 ->
       let head = t.regions.(start) in
       if head.hum_len <= 0 then
         invalid_arg "Region_heap.release_humongous: not a humongous head";
@@ -218,21 +251,17 @@ let release_humongous t id =
 
 let record_store t ~parent ~child =
   Obj_store.add_ref t.store ~from:parent ~to_:child;
-  let p = Obj_store.get t.store parent and c = Obj_store.get t.store child in
-  match (p.loc, c.loc) with
-  | Obj_store.Region rp, Obj_store.Region rc when rp <> rc ->
-      Hashtbl.replace t.regions.(rc).remset parent ()
-  | _ -> ()
+  let rp = Obj_store.region_index t.store parent
+  and rc = Obj_store.region_index t.store child in
+  if rp >= 0 && rc >= 0 && rp <> rc then
+    Hashtbl.replace t.regions.(rc).remset parent ()
 
 let remove_store t ~parent ~child =
   Obj_store.remove_ref t.store ~from:parent ~to_:child
 
-let[@inline] in_region (o : Obj_store.obj) idx =
-  match o.loc with Obj_store.Region x -> x = idx | _ -> false
-
 let compact_region_objects t r =
   Vec.filter_in_place
-    (fun id -> in_region (Obj_store.slot t.store id) r.idx)
+    (fun id -> Obj_store.in_region t.store id r.idx)
     r.objects
 
 let retire_region t r =
@@ -247,8 +276,7 @@ let retire_region t r =
 let release_region t r =
   Vec.iter
     (fun id ->
-      if in_region (Obj_store.slot t.store id) r.idx then
-        Obj_store.free t.store id)
+      if Obj_store.in_region t.store id r.idx then Obj_store.free t.store id)
     r.objects;
   retire_region t r
 
@@ -266,12 +294,12 @@ let check_invariants t =
      their bytes in dedicated regions, handled via the head region. *)
   let actual = Array.make (Array.length t.regions) 0 in
   let err = ref None in
-  Obj_store.iter_live t.store (fun o ->
-      match o.loc with
+  Obj_store.iter_live t.store (fun id ->
+      match Obj_store.loc t.store id with
       | Obj_store.Region r ->
           if t.regions.(r).kind = Humongous then begin
             (* Spread over the group exactly as the allocator did. *)
-            let remaining = ref o.size and idx = ref r in
+            let remaining = ref (Obj_store.size t.store id) and idx = ref r in
             while !remaining > 0 do
               if
                 !idx >= Array.length t.regions
@@ -288,7 +316,7 @@ let check_invariants t =
               end
             done
           end
-          else actual.(r) <- actual.(r) + o.size
+          else actual.(r) <- actual.(r) + Obj_store.size t.store id
       | Obj_store.Eden | Obj_store.Survivor | Obj_store.Old | Obj_store.Nowhere
         ->
           ());

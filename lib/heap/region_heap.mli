@@ -32,6 +32,9 @@ type t = {
   mutable free_count : int;
       (** number of [Free] regions, maintained incrementally so
           {!free_regions} is O(1) on the allocation path *)
+  free_bits : Gcperf_util.Bitset.t;
+      (** membership mirror of the [Free] regions; the allocator's
+          lowest-index find-first is a word scan, not a table walk *)
   mutable young_target_bytes : int;
       (** eden bytes that accumulate before a young collection — the knob
           the adaptive sizing policy turns; owned by the G1 collector *)
@@ -43,12 +46,19 @@ val create : Obj_store.t -> heap_bytes:int -> ?target_regions:int -> unit -> t
 (** Region size is [heap_bytes / target_regions] (default 1024 regions),
     clamped to HotSpot's 1 MB - 32 MB range. *)
 
-val region_of : t -> Obj_store.obj -> region
-(** @raise Invalid_argument if the object is not region-allocated. *)
+val region_of : t -> int -> region
+(** The region holding the object with the given id.
+    @raise Invalid_argument if the object is not region-allocated. *)
 
 val count_kind : t -> region_kind -> int
 
 val used_of_kind : t -> region_kind -> int
+
+val used_young : t -> int
+(** Eden plus survivor occupancy, in one pass over the region table. *)
+
+val used_old_hum : t -> int
+(** Old plus humongous occupancy, in one pass over the region table. *)
 
 val free_regions : t -> int
 

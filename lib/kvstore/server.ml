@@ -113,7 +113,7 @@ let flush t =
   let st = store t in
   Ivec.iter
     (fun idx ->
-      if Os.is_live st idx then Os.set_refs st idx [];
+      if Os.is_live st idx then Os.clear_refs st idx;
       Vm.drop_global_root t.vm idx)
     t.indexes;
   Ivec.clear t.indexes;

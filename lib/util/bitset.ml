@@ -41,3 +41,36 @@ let clear t i =
   if w < Array.length t.words then t.words.(w) <- t.words.(w) land lnot (mask_of i)
 
 let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+(* Trailing-zero count via de Bruijn multiplication: branch-free lowest
+   set bit for a 32-bit word, no hardware ctz needed. *)
+let debruijn = 0x077CB531
+
+let tz_table =
+  let t = Array.make 32 0 in
+  for i = 0 to 31 do
+    t.(((debruijn lsl i) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  t
+
+let[@inline] lowest_bit w =
+  tz_table.((((w land -w) * debruijn) land 0xFFFFFFFF) lsr 27)
+
+let next_set t i =
+  check i;
+  let nwords = Array.length t.words in
+  let w = ref (word_of i) in
+  if !w >= nwords then -1
+  else begin
+    (* mask off bits below [i] in the first word *)
+    let first = t.words.(!w) land lnot (mask_of i - 1) in
+    if first <> 0 then (!w * bits_per_word) + lowest_bit first
+    else begin
+      incr w;
+      while !w < nwords && t.words.(!w) = 0 do
+        incr w
+      done;
+      if !w >= nwords then -1
+      else (!w * bits_per_word) + lowest_bit t.words.(!w)
+    end
+  end

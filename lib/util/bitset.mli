@@ -25,3 +25,7 @@ val reset : t -> unit
 
 val capacity : t -> int
 (** Number of addressable bits currently backed by storage. *)
+
+val next_set : t -> int -> int
+(** [next_set t i] is the smallest member >= [i], or [-1] when none.
+    O(words scanned); the free-region allocator's find-first. *)

@@ -116,9 +116,11 @@ let link_new_object t slot id =
     let holder = Ivec.get t.live_set (Prng.int prng (Ivec.length t.live_set)) in
     if Vm.is_live t.vm holder then begin
       let store = (Vm.collector t.vm).Gcperf_gc.Collector.store in
-      let refs = (Gcperf_heap.Obj_store.get store holder).Gcperf_heap.Obj_store.refs in
-      if Ivec.length refs >= holder_fanout_cap then begin
-        let victim = Ivec.get refs (Prng.int prng (Ivec.length refs)) in
+      let nrefs = Gcperf_heap.Obj_store.ref_count store holder in
+      if nrefs >= holder_fanout_cap then begin
+        let victim =
+          Gcperf_heap.Obj_store.ref_at store holder (Prng.int prng nrefs)
+        in
         Vm.remove_ref t.vm ~parent:holder ~child:victim
       end;
       Vm.add_ref t.vm ~parent:holder ~child:id

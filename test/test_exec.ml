@@ -69,6 +69,62 @@ let test_artifact_identity () =
         [ 2; 4 ])
     [ "table2"; "table3"; "fig3" ]
 
+(* Same contract one layer down: intra-collection parallel tracing
+   (--trace-jobs) must leave every artifact byte-identical, with the
+   threshold lowered so the speculative kernel actually engages on
+   ci-scope heaps. *)
+let test_artifact_identity_trace_jobs () =
+  let module Store = Gcperf_heap.Obj_store in
+  let scope = Gcperf.Scope.ci in
+  let render name =
+    match E.artifact ~scope ~jobs:1 name with
+    | Some a -> Gcperf.Artifact.render a `Json
+    | None -> Alcotest.fail ("unknown artifact " ^ name)
+  in
+  let saved_domains = Store.default_trace_domains () in
+  let saved_threshold = Store.par_trace_threshold () in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_default_trace_domains saved_domains;
+      Store.set_par_trace_threshold saved_threshold)
+    (fun () ->
+      List.iter
+        (fun name ->
+          Store.set_default_trace_domains 1;
+          let sequential = render name in
+          Store.set_par_trace_threshold 16;
+          List.iter
+            (fun domains ->
+              Store.set_default_trace_domains domains;
+              Alcotest.(check string)
+                (Printf.sprintf "%s byte-identical at trace-jobs=%d" name
+                   domains)
+                sequential (render name))
+            [ 2; 4 ])
+        [ "table2"; "fig3" ])
+
+(* --- crew ----------------------------------------------------------- *)
+
+let test_crew_basics () =
+  let module Crew = Gcperf_exec.Crew in
+  Alcotest.(check bool) "domains=1 is refused" false
+    (Crew.try_with ~domains:1 (fun _ -> Alcotest.fail "must not run"));
+  let hits = Atomic.make 0 in
+  let nested = ref None in
+  let ok =
+    Crew.try_with ~domains:3 (fun crew ->
+        Alcotest.(check bool) "size covers the request" true
+          (Crew.size crew >= 3);
+        (* The crew is exclusive: a holder asking again must be refused
+           (the kernel's cue to run its sequential path). *)
+        nested := Some (Crew.try_with ~domains:2 (fun _ -> ()));
+        Crew.run crew (fun _slot -> Atomic.incr hits);
+        Crew.run crew (fun _slot -> Atomic.incr hits))
+  in
+  Alcotest.(check bool) "acquired" true ok;
+  Alcotest.(check (option bool)) "reentry refused" (Some false) !nested;
+  Alcotest.(check bool) "every slot ran, twice" true (Atomic.get hits >= 6)
+
 (* --- deterministic telemetry merge --------------------------------- *)
 
 let span ~kind ~duration_us =
@@ -127,6 +183,9 @@ let () =
         [
           Alcotest.test_case "artifact identity jobs=1/2/4" `Slow
             test_artifact_identity;
+          Alcotest.test_case "artifact identity trace-jobs=1/2/4" `Slow
+            test_artifact_identity_trace_jobs;
+          Alcotest.test_case "crew basics" `Quick test_crew_basics;
           Alcotest.test_case "telemetry merge" `Quick
             test_merge_matches_sequential;
         ] );

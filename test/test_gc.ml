@@ -146,9 +146,8 @@ let test_promotion kind =
     Vm.step vm ~dt_us:500.0 (fun _ -> ())
   done;
   let store = (Vm.collector vm).Gcperf_gc.Collector.store in
-  let o = Os.get store pinned in
   let is_old =
-    match o.Os.loc with
+    match Os.loc store pinned with
     | Os.Old -> true
     | Os.Region r -> (
         match (Vm.collector vm).Gcperf_gc.Collector.kind with
@@ -157,7 +156,7 @@ let test_promotion kind =
     | Os.Eden | Os.Survivor | Os.Nowhere -> false
   in
   Alcotest.(check bool) "long-lived object left eden" true
-    (is_old || o.Os.age > 0)
+    (is_old || Os.age store pinned > 0)
 
 (* --- out of memory --------------------------------------------------- *)
 
@@ -405,21 +404,22 @@ let bare_params heap =
     usable_old_free = (fun () -> Gh.old_free heap);
   }
 
-let has_live_young_ref store (o : Os.obj) =
-  Vec.exists
-    (fun r -> Os.is_live store r && Os.is_young_loc (Os.get store r).Os.loc)
-    o.Os.refs
+let has_live_young_ref store id =
+  let found = ref false in
+  Os.iter_refs store id (fun r ->
+      if Os.is_live store r && Os.is_young store r then found := true);
+  !found
 
 (* Soundness — must hold after EVERY mutation and collection: a live old
    object with a young target is card-marked (a missed card would let a
    young collection free reachable data). *)
 let remset_sound store heap =
   let ok = ref true in
-  Os.iter_live store (fun o ->
+  Os.iter_live store (fun id ->
       if
-        o.Os.loc = Os.Old
-        && has_live_young_ref store o
-        && not (Gh.card_is_dirty heap o.Os.id)
+        Os.is_old store id
+        && has_live_young_ref store id
+        && not (Gh.card_is_dirty heap id)
       then ok := false);
   !ok
 
@@ -429,10 +429,10 @@ let remset_sound store heap =
    soundness is required there. *)
 let remset_exact store heap =
   let ok = ref true in
-  Os.iter_live store (fun o ->
+  Os.iter_live store (fun id ->
       if
-        o.Os.loc = Os.Old
-        && Gh.card_is_dirty heap o.Os.id <> has_live_young_ref store o
+        Os.is_old store id
+        && Gh.card_is_dirty heap id <> has_live_young_ref store id
       then ok := false);
   !ok && Gh.dirty_count heap <= Os.live_count store
 
@@ -544,7 +544,7 @@ let naive_reachable ctx store =
   let rec go id =
     if Os.is_live store id && not (Hashtbl.mem visited id) then begin
       Hashtbl.add visited id ();
-      Vec.iter go (Os.get store id).Os.refs
+      Os.iter_refs store id go
     end
   in
   ctx.Gc_ctx.iter_roots go;
@@ -583,15 +583,15 @@ let test_epoch_marking_equivalence () =
   Alcotest.(check (list int)) "repeat trace identical" expected (trace_ids ());
   (* Mark stamps answer is_marked for exactly the traced set. *)
   ignore (trace_ids ());
-  Os.iter_live store (fun o ->
+  Os.iter_live store (fun id ->
       Alcotest.(check bool)
-        (Printf.sprintf "is_marked agrees for %d" o.Os.id)
-        (List.mem o.Os.id expected)
-        (Os.is_marked store o));
+        (Printf.sprintf "is_marked agrees for %d" id)
+        (List.mem id expected)
+        (Os.is_marked store id));
   (* Fresh allocations are never marked, even on recycled slots. *)
   let fresh = Option.get (Gh.alloc_eden heap ~size:1024) in
   Alcotest.(check bool) "fresh object unmarked" false
-    (Os.is_marked store (Os.get store fresh));
+    (Os.is_marked store fresh);
   (* After a collection reshuffles locations, equivalence still holds. *)
   ignore
     (Gen_algo.collect_young ctx heap ~params:(bare_params heap)

@@ -28,10 +28,9 @@ let test_store_recycles_slots () =
   let b = Os.alloc s ~size:20 ~loc:Os.Eden in
   Alcotest.(check int) "slot reused" a b;
   Alcotest.(check int) "capacity stable" 1 (Os.capacity s);
-  let o = Os.get s b in
-  Alcotest.(check int) "fresh size" 20 o.Os.size;
-  Alcotest.(check int) "fresh age" 0 o.Os.age;
-  Alcotest.(check int) "no stale refs" 0 (Vec.length o.Os.refs)
+  Alcotest.(check int) "fresh size" 20 (Os.size s b);
+  Alcotest.(check int) "fresh age" 0 (Os.age s b);
+  Alcotest.(check int) "no stale refs" 0 (Os.ref_count s b)
 
 let test_store_double_free () =
   let s = Os.create () in
@@ -46,7 +45,7 @@ let test_store_stale_get () =
   Os.free s a;
   Alcotest.check_raises "stale get"
     (Invalid_argument "Obj_store.get: stale id") (fun () ->
-      ignore (Os.get s a))
+      Os.check_live s a)
 
 let test_store_refs () =
   let s = Os.create () in
@@ -54,11 +53,11 @@ let test_store_refs () =
   let b = Os.alloc s ~size:10 ~loc:Os.Eden in
   Os.add_ref s ~from:a ~to_:b;
   Os.add_ref s ~from:a ~to_:b;
-  Alcotest.(check int) "two refs" 2 (Vec.length (Os.get s a).Os.refs);
+  Alcotest.(check int) "two refs" 2 (Os.ref_count s a);
   Os.remove_ref s ~from:a ~to_:b;
-  Alcotest.(check int) "one removed" 1 (Vec.length (Os.get s a).Os.refs);
-  Os.set_refs s a [];
-  Alcotest.(check int) "cleared" 0 (Vec.length (Os.get s a).Os.refs)
+  Alcotest.(check int) "one removed" 1 (Os.ref_count s a);
+  Os.set_refs s a [||];
+  Alcotest.(check int) "cleared" 0 (Os.ref_count s a)
 
 let test_store_live_ids () =
   let s = Os.create () in
@@ -67,6 +66,194 @@ let test_store_live_ids () =
   let c = Os.alloc s ~size:1 ~loc:Os.Eden in
   Os.free s b;
   Alcotest.(check (list int)) "live ids" [ a; c ] (Vec.to_list (Os.live_ids s))
+
+(* --- SoA store vs reference model ----------------------------------- *)
+
+(* The struct-of-arrays columns and the CSR edge arena (slice relocation,
+   slot recycling, arena rebuild) must be observationally equivalent to
+   the obvious record-per-object implementation under any interleaving of
+   mutator operations.  The model mirrors [remove_ref]'s swap-with-last
+   exactly: reference *order* is part of the contract, since trace
+   discovery order (and every artifact downstream) depends on it. *)
+type model_obj = {
+  mutable m_size : int;
+  mutable m_loc : Os.location;
+  mutable m_refs : int array;
+}
+
+let prop_store_model =
+  QCheck.Test.make ~name:"SoA store matches a record-based model" ~count:300
+    QCheck.(list (triple (int_bound 5) (int_bound 999) (int_bound 999)))
+    (fun ops ->
+      let s = Os.create () in
+      let model : (int, model_obj) Hashtbl.t = Hashtbl.create 64 in
+      let live = ref [] in
+      let pick n = List.nth !live (n mod List.length !live) in
+      let model_young id =
+        match Hashtbl.find_opt model id with
+        | Some { m_loc = Os.Eden | Os.Survivor; _ } -> true
+        | Some _ | None -> false
+      in
+      List.iter
+        (fun (tag, a, b) ->
+          match tag with
+          | 0 ->
+              let size = (a mod 1000) + 1 in
+              let loc =
+                match b mod 4 with
+                | 0 -> Os.Eden
+                | 1 -> Os.Survivor
+                | 2 -> Os.Old
+                | _ -> Os.Region (b mod 8)
+              in
+              let id = Os.alloc s ~size ~loc in
+              Hashtbl.replace model id
+                { m_size = size; m_loc = loc; m_refs = [||] };
+              live := id :: !live
+          | 1 when !live <> [] ->
+              let id = pick a in
+              Os.free s id;
+              let m = Hashtbl.find model id in
+              m.m_loc <- Os.Nowhere;
+              m.m_refs <- [||];
+              live := List.filter (fun x -> x <> id) !live
+          | 2 when !live <> [] ->
+              let from = pick a and to_ = pick b in
+              Os.add_ref s ~from ~to_;
+              let m = Hashtbl.find model from in
+              m.m_refs <- Array.append m.m_refs [| to_ |]
+          | 3 when !live <> [] ->
+              let from = pick a and to_ = pick b in
+              Os.remove_ref s ~from ~to_;
+              let m = Hashtbl.find model from in
+              let n = Array.length m.m_refs in
+              let rec find i =
+                if i >= n then -1
+                else if m.m_refs.(i) = to_ then i
+                else find (i + 1)
+              in
+              let i = find 0 in
+              if i >= 0 then begin
+                let refs = Array.sub m.m_refs 0 (n - 1) in
+                if i < n - 1 then refs.(i) <- m.m_refs.(n - 1);
+                m.m_refs <- refs
+              end
+          | 4 when !live <> [] ->
+              let from = pick a in
+              let refs = Array.init (b mod 5) (fun i -> pick (a + i)) in
+              Os.set_refs s from refs;
+              (Hashtbl.find model from).m_refs <- Array.copy refs
+          | 5 when !live <> [] ->
+              (* The incremental young-ref counter may drift when children
+                 die; [recount_young_refs] resynchronises it, after which
+                 it must equal the model's on-demand count. *)
+              let id = pick a in
+              Os.recount_young_refs s id;
+              let m = Hashtbl.find model id in
+              let expect =
+                Array.fold_left
+                  (fun acc r -> if model_young r then acc + 1 else acc)
+                  0 m.m_refs
+              in
+              if Os.young_refs s id <> expect then
+                QCheck.Test.fail_reportf "young_refs %d: store %d model %d" id
+                  (Os.young_refs s id) expect
+          | _ -> ())
+        ops;
+      let sorted_live = List.sort compare !live in
+      if Os.live_count s <> List.length !live then
+        QCheck.Test.fail_report "live_count mismatch";
+      if Vec.to_list (Os.live_ids s) <> sorted_live then
+        QCheck.Test.fail_report "live_ids mismatch";
+      List.iter
+        (fun id ->
+          let m = Hashtbl.find model id in
+          if Os.size s id <> m.m_size then
+            QCheck.Test.fail_reportf "size mismatch for %d" id;
+          if Os.loc s id <> m.m_loc then
+            QCheck.Test.fail_reportf "loc mismatch for %d" id;
+          if Os.refs_list s id <> Array.to_list m.m_refs then
+            QCheck.Test.fail_reportf "refs mismatch for %d" id)
+        sorted_live;
+      true)
+
+(* --- parallel trace determinism -------------------------------------- *)
+
+(* The speculative-scan/replay kernel must reproduce the sequential DFS
+   marked vector *exactly* — same ids, same discovery order — at any
+   domain count.  Graphs come from a seeded LCG: cycles, duplicate edges,
+   dangling references to freed objects, every location kind. *)
+let build_trace_graph seed0 =
+  let s = Os.create () in
+  let state = ref (seed0 land 0x3FFFFFFF) in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  let n = 200 + rand 200 in
+  let ids =
+    Array.init n (fun _ ->
+        let loc =
+          match rand 5 with
+          | 0 -> Os.Eden
+          | 1 -> Os.Survivor
+          | 2 -> Os.Old
+          | 3 -> Os.Region (rand 4)
+          | _ -> Os.Region (4 + rand 4)
+        in
+        Os.alloc s ~size:(1 + rand 512) ~loc)
+  in
+  Array.iter
+    (fun id ->
+      for _ = 1 to rand 5 do
+        Os.add_ref s ~from:id ~to_:ids.(rand n)
+      done)
+    ids;
+  (* Free a slice so traces meet dangling references and recycled slots. *)
+  Array.iter (fun id -> if rand 10 = 0 then Os.free s id) ids;
+  let seeds =
+    Array.to_list ids
+    |> List.filter (fun id -> Os.is_live s id && rand 3 = 0)
+  in
+  (s, seeds)
+
+let run_trace s ~pred ~domains seeds =
+  let marked = Vec.create () and stack = Vec.create () in
+  Os.begin_trace s;
+  List.iter
+    (fun id ->
+      if not (Os.is_marked s id) then begin
+        Os.mark s id;
+        Vec.push marked id;
+        Vec.push stack id
+      end)
+    seeds;
+  Os.finish_trace s ~pred ~marked ~stack ~domains;
+  Alcotest.(check int) "stack drained" 0 (Vec.length stack);
+  Vec.to_list marked
+
+let prop_parallel_trace =
+  QCheck.Test.make ~count:60
+    ~name:"parallel trace replays the sequential order exactly"
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 4))
+    (fun (seed0, domains) ->
+      let flags = Array.init 8 (fun i -> i mod 2 = seed0 mod 2) in
+      let preds =
+        [ Os.Trace_young; Os.Trace_live; Os.Trace_regions flags ]
+      in
+      let saved = Os.par_trace_threshold () in
+      Fun.protect
+        ~finally:(fun () -> Os.set_par_trace_threshold saved)
+        (fun () ->
+          List.for_all
+            (fun pred ->
+              let s, seeds = build_trace_graph seed0 in
+              Os.set_par_trace_threshold 1;
+              let par = run_trace s ~pred ~domains seeds in
+              Os.set_par_trace_threshold max_int;
+              let seq = run_trace s ~pred ~domains:1 seeds in
+              par = seq)
+            preds))
 
 (* --- Gen_heap ------------------------------------------------------- *)
 
@@ -231,8 +418,7 @@ let test_region_humongous_contiguous () =
   r.Rh.regions.(0).Rh.kind <- Rh.Old_region;
   r.Rh.regions.(2).Rh.kind <- Rh.Old_region;
   let id = Option.get (Rh.alloc_humongous r ~size:(2 * mb)) in
-  let o = Os.get r.Rh.store id in
-  (match o.Os.loc with
+  (match Os.loc r.Rh.store id with
   | Os.Region idx ->
       Alcotest.(check bool) "starts after the hole" true (idx >= 3)
   | _ -> Alcotest.fail "not region-allocated");
@@ -246,7 +432,8 @@ let test_region_remset () =
   let reg = Option.get (Rh.take_free_region r Rh.Old_region) in
   let b = Option.get (Rh.alloc_in_region r reg ~size:1000) in
   Rh.record_store r ~parent:a ~child:b;
-  let rb = Rh.region_of r (Os.get s b) in
+  let rb = Rh.region_of r b in
+  ignore s;
   Alcotest.(check bool) "cross-region remset entry" true
     (Hashtbl.mem rb.Rh.remset a);
   (* Same-region stores do not pollute the remset. *)
@@ -258,7 +445,7 @@ let test_region_remset () =
 let test_region_release () =
   let s, r = make_region () in
   let a = Option.get (Rh.alloc_young r ~size:1000) in
-  let reg = Rh.region_of r (Os.get s a) in
+  let reg = Rh.region_of r a in
   Rh.release_region r reg;
   Alcotest.(check bool) "object freed" false (Os.is_live s a);
   Alcotest.(check int) "region free" 64 (Rh.free_regions r);
@@ -300,6 +487,8 @@ let () =
           Alcotest.test_case "stale get" `Quick test_store_stale_get;
           Alcotest.test_case "refs" `Quick test_store_refs;
           Alcotest.test_case "live ids" `Quick test_store_live_ids;
+          QCheck_alcotest.to_alcotest prop_store_model;
+          QCheck_alcotest.to_alcotest prop_parallel_trace;
         ] );
       ( "gen_heap",
         [

@@ -67,9 +67,8 @@ let test_alloc_old_global () =
   let vm = fresh () in
   let id = Vm.alloc_old_global vm ~size:mb ~lifetime:`Permanent in
   let store = (Vm.collector vm).Gcperf_gc.Collector.store in
-  let o = Gcperf_heap.Obj_store.get store id in
   Alcotest.(check bool) "landed in the old generation" true
-    (o.Gcperf_heap.Obj_store.loc = Gcperf_heap.Obj_store.Old);
+    (Gcperf_heap.Obj_store.is_old store id);
   Alcotest.(check bool) "old accounting" true
     ((Vm.collector vm).Gcperf_gc.Collector.old_used () >= mb)
 

@@ -4,11 +4,17 @@
 # constant, a broken determinism contract, a worker-count dependence —
 # fails loudly with the diff.
 #
-# Usage: tools/check_identity.sh [JOBS]
-#   JOBS   worker-domain count to run the experiments with (default 1).
-#          The goldens were generated at --jobs 1; byte-identity at any
-#          other value is exactly the determinism contract of
-#          Gcperf_exec.Pool, so CI runs this once per matrix leg.
+# Usage: tools/check_identity.sh [JOBS] [TRACE_JOBS]
+#   JOBS        worker-domain count to run the experiments with
+#               (default 1).  The goldens were generated at --jobs 1;
+#               byte-identity at any other value is exactly the
+#               determinism contract of Gcperf_exec.Pool.
+#   TRACE_JOBS  worker-domain count for intra-collection tracing
+#               (default 1 = sequential).  Byte-identity here is the
+#               determinism contract of Obj_store.finish_trace's
+#               speculative-scan/replay kernel.
+#
+# CI runs this once per matrix leg over both dimensions.
 #
 # `dune build @check-identity` performs the same comparison (at jobs 1
 # and 4) through dune's diff action, with promotion support:
@@ -16,6 +22,7 @@
 set -eu
 
 jobs="${1:-1}"
+trace_jobs="${2:-1}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
@@ -28,14 +35,14 @@ for id in "${artifacts[@]}"; do
   golden="results/ci/$id.txt"
   candidate="$tmp/$id.txt"
   dune exec --no-build -- gcperf run "$id" --scope ci --jobs "$jobs" \
-    -o "$candidate" >/dev/null 2>&1 ||
+    --trace-jobs "$trace_jobs" -o "$candidate" >/dev/null 2>&1 ||
     dune exec -- gcperf run "$id" --scope ci --jobs "$jobs" \
-      -o "$candidate" >/dev/null
+      --trace-jobs "$trace_jobs" -o "$candidate" >/dev/null
   if ! diff -u "$golden" "$candidate"; then
-    echo "IDENTITY BROKEN: $id (scope ci, jobs $jobs) differs from $golden" >&2
+    echo "IDENTITY BROKEN: $id (scope ci, jobs $jobs, trace-jobs $trace_jobs) differs from $golden" >&2
     status=1
   else
-    echo "ok $id (scope ci, jobs $jobs)"
+    echo "ok $id (scope ci, jobs $jobs, trace-jobs $trace_jobs)"
   fi
 done
 
