@@ -11,12 +11,14 @@
      the simulator itself are visible independently of the campaigns.
 
    Plus "policy" (adaptive-sizing overhead against the fixed baseline),
-   "exec" (worker-pool fan-out) and "fault" (fault injector, degraded
-   gateway and the resilient client session).
+   "exec" (worker-pool fan-out), "fault" (fault injector, degraded
+   gateway and the resilient client session) and "cluster" (consistent-
+   hash placement and the fan-out coordinator).
 
    Options:
 
-   - [--only micro,policy,exec,fault,paper,server] restricts the groups
+   - [--only micro,policy,exec,fault,cluster,paper,server] restricts the
+     groups
      that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
@@ -41,12 +43,11 @@ let machine = Machine.paper_server ()
 let experiment_tests =
   List.map
     (fun id ->
-      let run =
-        match Gcperf.Experiments.by_name id with
-        | Some f -> f
-        | None -> assert false
-      in
-      Test.make ~name:id (Staged.stage (fun () -> ignore (run ~quick:true))))
+      Test.make ~name:id
+        (Staged.stage (fun () ->
+             match Gcperf.Experiments.artifact ~scope:Gcperf.Scope.ci id with
+             | Some a -> ignore (Gcperf.Artifact.to_text a)
+             | None -> assert false)))
     [ "table2"; "table3"; "table4"; "fig1"; "fig2"; "fig3"; "table8" ]
 
 (* The client-server campaigns are the heaviest; bench them through
@@ -369,6 +370,70 @@ let fault_tests =
                 ~db_timeline:[||] ~seed:5 ())));
   ]
 
+(* --- cluster ring ------------------------------------------------------ *)
+
+module Ring = Gcperf_cluster.Ring
+module Cluster_node = Gcperf_cluster.Node
+module Coordinator = Gcperf_cluster.Coordinator
+
+(* A synthetic node timeline — 50 ms stop-the-world every 10 s, 0.5 %
+   duty — so the coordinator bench measures the event loop, not VM
+   generation. *)
+let cluster_timeline =
+  {
+    Cluster_node.collector = "bench";
+    node_seed = 0;
+    duration_s = 120.0;
+    intervals =
+      Array.init 12 (fun i ->
+          let s = (float_of_int i +. 0.5) *. 10.0 in
+          (s, s +. 0.05));
+    db_timeline = [||];
+    pause_fraction = 0.005;
+    oom = false;
+  }
+
+let cluster_tests =
+  [
+    Test.make ~name:"ring-create-64"
+      (* Build the 64-node, 4096-point ring: the per-cell setup cost. *)
+      (Staged.stage (fun () -> ignore (Ring.create ~nodes:64 ~replication:3 ())));
+    Test.make ~name:"ring-replicas-10k"
+      (* 10k replica-set lookups: the placement cost every sub-request
+         pays (binary search + clockwise distinct-node walk). *)
+      (let ring = Ring.create ~nodes:64 ~replication:3 () in
+       Staged.stage (fun () ->
+           for k = 0 to 9_999 do
+             ignore (Ring.replicas ring ~key:k)
+           done));
+    Test.make ~name:"coordinator-session-2min"
+      (* A two-virtual-minute fan-out-8 session over an 8-node ring on
+         synthetic timelines: one ci-scale grid cell minus the VMs. *)
+      (let w =
+         {
+           Gcperf_ycsb.Client.paper_workload with
+           duration_s = 120.0;
+           ops_per_s = 50.0;
+         }
+       in
+       let config =
+         {
+           Coordinator.default with
+           Coordinator.workload = w;
+           fanout = 8;
+           keyspace = 100_000;
+         }
+       in
+       Staged.stage (fun () ->
+           let ring = Ring.create ~nodes:8 ~replication:3 () in
+           let nodes =
+             Array.init 8 (fun id ->
+                 Cluster_node.create ~id cluster_timeline ~profile:Profile.none
+                   ~gateway:Gateway.unbounded ~seed:(100 + id))
+           in
+           ignore (Coordinator.run config ~ring ~nodes ~seed:9)));
+  ]
+
 (* --- driver ------------------------------------------------------------ *)
 
 let benchmark tests ~quota_s ~limit =
@@ -439,7 +504,7 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only micro,policy,exec,fault,paper,server] \
+    "usage: main.exe [--only micro,policy,exec,fault,cluster,paper,server] \
      [--quota SECONDS] [--limit RUNS] [--json PATH]";
   exit 2
 
@@ -496,6 +561,8 @@ let () =
     ~lim:50;
   run_group "fault" "fault (injector, gateway, resilient client)" fault_tests
     ~quota_s:0.5 ~lim:50;
+  run_group "cluster" "cluster (ring placement, fan-out coordinator)"
+    cluster_tests ~quota_s:0.5 ~lim:50;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
     ~lim:2;
   run_group "server" "client-server campaigns (scaled)" server_tests

@@ -125,8 +125,10 @@ let list_cmd =
   let run () =
     print_endline "Experiments (paper artifact -> gcperf run <id>):";
     List.iter
-      (fun id -> Printf.printf "  %s\n" id)
-      Gcperf.Experiments.all_names
+      (fun (e : Gcperf.Experiment.t) ->
+        Printf.printf "  %-10s  %s\n" e.Gcperf.Experiment.id
+          e.Gcperf.Experiment.title)
+      (Gcperf.Experiments.all ())
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -538,11 +540,16 @@ let all_cmd =
   let run quick scope jobs trace_jobs =
     let scope = resolve_scope quick scope in
     apply_trace_jobs trace_jobs;
+    (* Campaign siblings (fig1/fig2, fig5/table567) share one run via
+       the registry memo, so the full sweep costs no duplicate work. *)
     List.iter
-      (fun (id, build) ->
-        Printf.printf "==== %s ====\n%s\n%!" id
-          (Gcperf.Artifact.to_text (build ~scope ?jobs ())))
-      Gcperf.Experiments.artifacts
+      (fun (e : Gcperf.Experiment.t) ->
+        match Gcperf.Experiments.artifact ~scope ?jobs e.Gcperf.Experiment.id with
+        | Some artifact ->
+            Printf.printf "==== %s ====\n%s\n%!" e.Gcperf.Experiment.id
+              (Gcperf.Artifact.to_text artifact)
+        | None -> assert false)
+      (Gcperf.Experiments.all ())
   in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(const run $ quick_arg $ scope_arg $ jobs_arg $ trace_jobs_arg)

@@ -1,4 +1,5 @@
 module Client = Gcperf_ycsb.Client
+module Session = Gcperf_ycsb.Session
 module Stats = Gcperf_stats.Stats
 module Gc_config = Gcperf_gc.Gc_config
 module Chart = Gcperf_report.Chart
@@ -31,8 +32,12 @@ let one ~scope kind =
     }
   in
   let points =
-    Client.run workload ~pauses:server.Exp_server.intervals
-      ~db_timeline:server.Exp_server.db_timeline ~seed:(Exp_common.seed + 97)
+    Session.points workload
+      {
+        Session.pauses = server.Exp_server.intervals;
+        db_timeline = server.Exp_server.db_timeline;
+      }
+      ~seed:(Exp_common.seed + 97)
   in
   {
     gc = server.Exp_server.gc;

@@ -1,6 +1,6 @@
 module Client = Gcperf_ycsb.Client
 module Resilient = Gcperf_ycsb.Resilient
-module Gateway = Gcperf_kvstore.Gateway
+module Session = Gcperf_ycsb.Session
 module Profile = Gcperf_fault.Profile
 module Gc_config = Gcperf_gc.Gc_config
 module Table = Gcperf_report.Table
@@ -44,18 +44,20 @@ let one ~scope kind =
       (fun profile ->
         List.map
           (fun resilient ->
+            (* The typed resilience level replaces the hand-paired
+               (resilience record, gateway config) the old API needed. *)
             let resilience =
-              if resilient then Resilient.paper_defaults else Resilient.none
-            in
-            let gateway =
-              if resilient then Gateway.degraded else Gateway.unbounded
+              if resilient then Session.Resilience.Paper_defaults
+              else Session.Resilience.Off
             in
             let summary =
-              Resilient.run workload ~profile ~resilience ~gateway
-                ~collector:server.Exp_server.gc
-                ~pauses:server.Exp_server.intervals
-                ~db_timeline:server.Exp_server.db_timeline ~seed:session_seed
-                ()
+              Session.run ~resilience ~profile
+                ~collector:server.Exp_server.gc workload
+                {
+                  Session.pauses = server.Exp_server.intervals;
+                  db_timeline = server.Exp_server.db_timeline;
+                }
+                ~seed:session_seed
             in
             {
               gc = server.Exp_server.gc;

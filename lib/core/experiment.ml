@@ -1,0 +1,45 @@
+type runner = scope:Scope.t -> ?jobs:int -> unit -> Artifact.t list
+
+type t = {
+  id : string;
+  title : string;
+  memo_key : string option;
+  runner : runner;
+}
+
+let registry : t list ref = ref []
+
+let register ~id ~title ?memo_key runner =
+  if List.exists (fun e -> e.id = id) !registry then
+    invalid_arg (Printf.sprintf "Experiment.register: duplicate id %S" id);
+  registry := !registry @ [ { id; title; memo_key; runner } ]
+
+let all () = !registry
+
+let ids () = List.map (fun e -> e.id) !registry
+
+let find id = List.find_opt (fun e -> e.id = id) !registry
+
+(* One cache slot per (campaign, scope).  Keyed on the memo key rather
+   than the experiment id so that sibling entries of a campaign (fig1 &
+   fig2, fig5 & tables 5-7) share the run.  [jobs] is deliberately not
+   part of the key: pool cells are pure functions of their seeds, so any
+   worker count produces the same artifacts. *)
+let memo : (string * Scope.t, Artifact.t list) Hashtbl.t = Hashtbl.create 8
+
+let run e ~scope ?jobs () =
+  match e.memo_key with
+  | None -> e.runner ~scope ?jobs ()
+  | Some key -> (
+      match Hashtbl.find_opt memo (key, scope) with
+      | Some arts -> arts
+      | None ->
+          let arts = e.runner ~scope ?jobs () in
+          Hashtbl.replace memo (key, scope) arts;
+          arts)
+
+let artifact ~scope ?jobs id =
+  match find id with
+  | None -> None
+  | Some e ->
+      List.find_opt (fun (a : Artifact.t) -> a.name = id) (run e ~scope ?jobs ())

@@ -2,36 +2,12 @@ module A = Artifact
 
 let scope_params scope = [ ("scope", Scope.to_string scope) ]
 
-(* Figures 1 and 2 come from the same campaign, and Figure 5 shares its
-   runs with Tables 5-7; memoise per scope.  The memo key deliberately
-   ignores [jobs]: the pool's determinism contract makes results
-   byte-identical for every worker count, so a hit computed at one
-   [jobs] serves every other.  Both memos live on the orchestrating
-   domain only — worker domains never call these entry points. *)
-let xalan_memo : (string * Exp_xalan.result) option ref = ref None
-
-let xalan ~scope ~jobs =
-  let key = Scope.to_string scope in
-  match !xalan_memo with
-  | Some (k, r) when k = key -> r
-  | _ ->
-      let r = Exp_xalan.run_scope ~scope ?jobs () in
-      xalan_memo := Some (key, r);
-      r
-
-let client_memo : (string * Exp_client.result) option ref = ref None
-
-let client ~scope ~jobs =
-  let key = Scope.to_string scope in
-  match !client_memo with
-  | Some (k, r) when k = key -> r
-  | _ ->
-      let r = Exp_client.run_scope ~scope ?jobs () in
-      client_memo := Some (key, r);
-      r
-
 (* ------------------------------------------------------------------ *)
-(* Artifact builders: one typed artifact per experiment id.           *)
+(* Artifact builders: one typed artifact per experiment id.  Campaign
+   experiments (Xalan feeds Figures 1 and 2, the client runs feed
+   Figure 5 and Tables 5-7) take the campaign result as an argument;
+   their runners below compute it once and the registry memo shares
+   the artifact list between the sibling ids. *)
 
 let table2_artifact ~scope ?jobs () =
   let r = Exp_table2.run_scope ~scope ?jobs () in
@@ -131,16 +107,14 @@ let series_rows (r : Exp_xalan.result) =
       ("no-system-gc", r.Exp_xalan.without_system_gc);
     ]
 
-let fig1_artifact ~scope ?jobs () =
-  let r = xalan ~scope ~jobs in
+let fig1_artifact ~scope (r : Exp_xalan.result) =
   A.make ~name:"fig1" ~title:"Figure 1: Xalan GC pauses"
     ~params:(scope_params scope)
     ~columns:[ "mode"; "gc"; "pauses"; "max_pause_s"; "total_s" ]
     ~rows:(series_rows r)
     ~render_text:(fun () -> Exp_xalan.render_figure1 r)
 
-let fig2_artifact ~scope ?jobs () =
-  let r = xalan ~scope ~jobs in
+let fig2_artifact ~scope (r : Exp_xalan.result) =
   A.make ~name:"fig2" ~title:"Figure 2: Xalan iteration durations"
     ~params:(scope_params scope)
     ~columns:[ "mode"; "gc"; "iteration"; "duration_s" ]
@@ -219,8 +193,7 @@ let fig4_artifact ~scope ?jobs () =
       ]
     ~render_text:(fun () -> Exp_server.render_figure4 r)
 
-let fig5_artifact ~scope ?jobs () =
-  let r = client ~scope ~jobs in
+let fig5_artifact ~scope (r : Exp_client.result) =
   let row (e : Exp_client.gc_experiment) =
     let pts = e.Exp_client.points in
     let correlated =
@@ -252,8 +225,7 @@ let fig5_artifact ~scope ?jobs () =
       ]
     ~render_text:(fun () -> Exp_client.render_figure5 r)
 
-let table567_artifact ~scope ?jobs () =
-  let r = client ~scope ~jobs in
+let table567_artifact ~scope (r : Exp_client.result) =
   let rows_of (e : Exp_client.gc_experiment) =
     List.concat_map
       (fun (op, (rep : Gcperf_stats.Stats.latency_report)) ->
@@ -518,50 +490,113 @@ let faults_artifact ~scope ?jobs () =
          (Exp_faults.sessions r))
     ~render_text:(fun () -> Exp_faults.render r)
 
-let artifacts =
-  [
-    ("table2", table2_artifact);
-    ("table3", table3_artifact);
-    ("table4", table4_artifact);
-    ("fig1", fig1_artifact);
-    ("fig2", fig2_artifact);
-    ("fig3", fig3_artifact);
-    ("fig4", fig4_artifact);
-    ("fig5", fig5_artifact);
-    ("table567", table567_artifact);
-    ("table8", table8_artifact);
-    ("server-po", server_po_artifact);
-    ("ablation", ablation_artifact);
-    ("ergonomics", ergonomics_artifact);
-    ("faults", faults_artifact);
-  ]
-
-let all_names = List.map fst artifacts
-
-let artifact ~scope ?jobs name =
-  Option.map (fun f -> f ~scope ?jobs ()) (List.assoc_opt name artifacts)
+let cluster_artifact ~scope ?jobs () =
+  let r = Exp_cluster.run_scope ~scope ?jobs () in
+  let module C = Gcperf_cluster.Coordinator in
+  A.make ~name:"cluster" ~title:"Cluster ring: tail at scale"
+    ~params:
+      (scope_params scope
+      @ [ ("replication", string_of_int r.Exp_cluster.replication) ])
+    ~columns:
+      [
+        "gc";
+        "ring";
+        "fanout";
+        "hedge";
+        "node_pause_pct";
+        "requests";
+        "ok";
+        "failed";
+        "sends";
+        "hedges";
+        "hedge_wins";
+        "hints";
+        "pause_intersection_pct";
+        "max_inflight";
+        "goodput_ops_s";
+        "p50_ms";
+        "p99_ms";
+        "p999_ms";
+        "max_ms";
+      ]
+    ~rows:
+      (List.map
+         (fun (c : Exp_cluster.cell) ->
+           let m = c.Exp_cluster.summary in
+           A.
+             [
+               Text c.Exp_cluster.gc;
+               Int c.ring_size;
+               Int c.fanout;
+               Bool c.hedged;
+               Float c.node_pause_pct;
+               Int m.C.requests;
+               Int m.C.ok;
+               Int m.C.failed;
+               Int m.C.sends;
+               Int m.C.hedges;
+               Int m.C.hedge_wins;
+               Int m.C.hints;
+               Float m.C.pause_intersection_pct;
+               Int m.C.max_inflight;
+               Float m.C.goodput_ops_s;
+               Float m.C.p50_ms;
+               Float m.C.p99_ms;
+               Float m.C.p999_ms;
+               Float m.C.max_ms;
+             ])
+         r.Exp_cluster.cells)
+    ~render_text:(fun () -> Exp_cluster.render r)
 
 (* ------------------------------------------------------------------ *)
-(* Legacy string API: thin wrappers over the artifacts.               *)
+(* Registration: the single place the experiment catalogue is written
+   down.  Runs at module-load time; every public entry point below
+   lives in this module precisely so that using the catalogue links
+   it. *)
 
-let text name ~quick =
-  match artifact ~scope:(Scope.of_quick quick) name with
-  | Some a -> A.to_text a
-  | None -> invalid_arg ("Experiments: unknown experiment " ^ name)
+let single id title build =
+  Experiment.register ~id ~title (fun ~scope ?jobs () ->
+      [ build ~scope ?jobs () ])
 
-let table2 ?(quick = false) () = text "table2" ~quick
-let table3 ?(quick = false) () = text "table3" ~quick
-let table4 ?(quick = false) () = text "table4" ~quick
-let figure1 ?(quick = false) () = text "fig1" ~quick
-let figure2 ?(quick = false) () = text "fig2" ~quick
-let figure3 ?(quick = false) () = text "fig3" ~quick
-let figure4 ?(quick = false) () = text "fig4" ~quick
-let figure5 ?(quick = false) () = text "fig5" ~quick
-let tables567 ?(quick = false) () = text "table567" ~quick
-let table8 ?(quick = false) () = text "table8" ~quick
-let server_parallel_old ?(quick = false) () = text "server-po" ~quick
-let ablation ?(quick = false) () = text "ablation" ~quick
+let xalan_runner ~scope ?jobs () =
+  let r = Exp_xalan.run_scope ~scope ?jobs () in
+  [ fig1_artifact ~scope r; fig2_artifact ~scope r ]
 
-let by_name name =
-  Option.map (fun _ -> fun ~quick -> text name ~quick)
-    (List.assoc_opt name artifacts)
+let client_runner ~scope ?jobs () =
+  let r = Exp_client.run_scope ~scope ?jobs () in
+  [ fig5_artifact ~scope r; table567_artifact ~scope r ]
+
+let () =
+  single "table2" "Table 2: benchmark stability" table2_artifact;
+  single "table3" "Table 3: pause statistics across heap/young sizes"
+    table3_artifact;
+  single "table4" "Table 4: TLAB influence" table4_artifact;
+  Experiment.register ~id:"fig1" ~title:"Figure 1: Xalan GC pauses"
+    ~memo_key:"xalan" xalan_runner;
+  Experiment.register ~id:"fig2" ~title:"Figure 2: Xalan iteration durations"
+    ~memo_key:"xalan" xalan_runner;
+  single "fig3" "Figure 3: GC ranking by experiments won" fig3_artifact;
+  single "fig4" "Figure 4: CMS and G1 server pauses" fig4_artifact;
+  Experiment.register ~id:"fig5"
+    ~title:"Figure 5: client latencies under server GC" ~memo_key:"client"
+    client_runner;
+  Experiment.register ~id:"table567" ~title:"Tables 5-7: client latency bands"
+    ~memo_key:"client" client_runner;
+  single "table8" "Table 8: collector summary" table8_artifact;
+  single "server-po" "ParallelOld server analysis" server_po_artifact;
+  single "ablation" "Ablation studies" ablation_artifact;
+  single "ergonomics"
+    "Ergonomics: fixed vs adaptive sizing with convergence trajectory"
+    ergonomics_artifact;
+  single "faults"
+    "Fault injection: resilience under GC pauses and network faults"
+    faults_artifact;
+  single "cluster" "Cluster ring: tail at scale" cluster_artifact
+
+(* ------------------------------------------------------------------ *)
+(* Facade over the registry.                                          *)
+
+let all () = Experiment.all ()
+let all_names = Experiment.ids ()
+let artifact = Experiment.artifact
+let run = Experiment.run

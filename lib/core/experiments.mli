@@ -1,38 +1,32 @@
-(** Umbrella: every table and figure of the study, by name.
+(** Umbrella: every table and figure of the study, through the registry.
 
-    Each experiment produces a typed {!Artifact.t} — structured rows
-    plus the pretty plain-text renderer — under a {!Scope.t} run budget.
-    The historical string API ([table2 ?quick ()] and friends) remains
-    as thin wrappers: [?quick:true] maps to {!Scope.ci} and returns
-    [Artifact.to_text], byte-identical to what the old code produced. *)
+    This module does two jobs.  At load time it {e registers} all
+    fifteen experiments with {!Experiment} — it is the only place an
+    experiment id, title or artifact builder is written down.  To
+    callers it is a thin facade over that registry, kept as the public
+    entry point so that linking this module (which every consumer does)
+    is what guarantees the registrations have run — OCaml links library
+    modules lazily, so the registry must live behind a module callers
+    actually reference.
 
-val artifacts : (string * (scope:Scope.t -> ?jobs:int -> unit -> Artifact.t)) list
-(** The registry: experiment id to artifact builder.  Figures 1/2 share
-    one Xalan campaign and Figure 5 / Tables 5-7 one client campaign,
-    memoised per scope (not per [jobs] — results are byte-identical for
-    every worker count, see {!Gcperf_exec.Pool}). *)
+    Adding experiment #16 is one [Experiment.register] call in the
+    implementation; [gcperf list], [gcperf run], [gcperf all],
+    did-you-mean and the test suite pick it up with no further wiring. *)
+
+val all : unit -> Experiment.t list
+(** Every registered experiment, in registration (= presentation)
+    order. *)
 
 val all_names : string list
-(** Experiment ids accepted by {!artifact} and {!by_name}. *)
+(** Ids of {!all}: what {!artifact} accepts and [gcperf run] suggests
+    from. *)
 
 val artifact : scope:Scope.t -> ?jobs:int -> string -> Artifact.t option
-(** Run one experiment and return its typed artifact.  [jobs] caps the
-    worker-domain count used to fan the experiment's cells out (default
+(** Run one experiment and return its typed artifact.  Campaigns that
+    feed several artifacts (Figures 1/2; Figure 5 / Tables 5-7) run
+    once per scope and are shared through the registry memo.  [jobs]
+    caps the worker-domain fan-out (default
     {!Exp_common.default_jobs}); any value yields the same artifact. *)
 
-(** {1 Legacy string API} *)
-
-val table2 : ?quick:bool -> unit -> string
-val table3 : ?quick:bool -> unit -> string
-val table4 : ?quick:bool -> unit -> string
-val figure1 : ?quick:bool -> unit -> string
-val figure2 : ?quick:bool -> unit -> string
-val figure3 : ?quick:bool -> unit -> string
-val figure4 : ?quick:bool -> unit -> string
-val figure5 : ?quick:bool -> unit -> string
-val tables567 : ?quick:bool -> unit -> string
-val table8 : ?quick:bool -> unit -> string
-val server_parallel_old : ?quick:bool -> unit -> string
-val ablation : ?quick:bool -> unit -> string
-
-val by_name : string -> (quick:bool -> string) option
+val run : Experiment.t -> scope:Scope.t -> ?jobs:int -> unit -> Artifact.t list
+(** {!Experiment.run}, re-exported for callers iterating {!all}. *)

@@ -61,4 +61,23 @@ let all = [ none; flaky_network; pause_spike; storm ]
 
 let names = List.map (fun p -> p.name) all
 
-let of_string s = List.find_opt (fun p -> p.name = s) all
+let to_string p = p.name
+
+(* Mirrors Gc_config.kind_of_string: case-insensitive, separator-blind
+   (pause_spike, "pause spike" and pauseSpike all resolve), with the
+   obvious shorthands accepted as aliases. *)
+let of_string s =
+  let canon s =
+    String.concat ""
+      (String.split_on_char '-'
+         (String.concat ""
+            (String.split_on_char '_'
+               (String.concat ""
+                  (String.split_on_char ' ' (String.lowercase_ascii s))))))
+  in
+  match canon s with
+  | "none" | "off" -> Some none
+  | "flakynetwork" | "flaky" -> Some flaky_network
+  | "pausespike" | "spike" -> Some pause_spike
+  | "storm" -> Some storm
+  | c -> List.find_opt (fun p -> canon p.name = c) all

@@ -44,7 +44,17 @@ val storm : t
     spikes: the worst afternoon on call. *)
 
 val all : t list
+(** Every named profile, in documentation order. *)
 
 val names : string list
+(** Canonical names of {!all}: the CLI's candidate list for
+    did-you-mean suggestions. *)
+
+val to_string : t -> string
+(** The profile's canonical name ([of_string] round-trips it). *)
 
 val of_string : string -> t option
+(** Resolve a user-supplied name, mirroring
+    [Gc_config.kind_of_string]: case-insensitive, blind to [-]/[_]/space
+    separators, and accepting the obvious shorthands ([off], [flaky],
+    [spike]). *)

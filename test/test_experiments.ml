@@ -10,12 +10,26 @@ let contains s sub =
   go 0
 
 let test_registry () =
-  Alcotest.(check int) "14 experiments" 14 (List.length E.all_names);
+  Alcotest.(check int) "15 experiments" 15 (List.length E.all_names);
+  Alcotest.(check bool) "unknown rejected" true
+    (E.artifact ~scope:Gcperf.Scope.ci "nope" = None)
+
+(* The registry round-trip: every registered id runs at ci scope, names
+   its artifact after itself and renders non-trivially.  This is the
+   guarantee that lets the CLI drop per-experiment dispatch arms. *)
+let test_registry_round_trip () =
   List.iter
-    (fun id ->
-      Alcotest.(check bool) (id ^ " resolvable") true (E.by_name id <> None))
-    E.all_names;
-  Alcotest.(check bool) "unknown rejected" true (E.by_name "nope" = None)
+    (fun (e : Gcperf.Experiment.t) ->
+      let id = e.Gcperf.Experiment.id in
+      match E.artifact ~scope:Gcperf.Scope.ci id with
+      | None -> Alcotest.fail (id ^ " not resolvable")
+      | Some a ->
+          Alcotest.(check string)
+            (id ^ " artifact named after id")
+            id a.Gcperf.Artifact.name;
+          Alcotest.(check bool) (id ^ " renders") true
+            (String.length (Gcperf.Artifact.to_text a) > 40))
+    (E.all ())
 
 let test_table2 () =
   let r = Gcperf.Exp_table2.run ~quick:true () in
@@ -144,7 +158,10 @@ let () =
   Alcotest.run "experiments"
     [
       ( "registry",
-        [ Alcotest.test_case "registry" `Quick test_registry ] );
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "round-trip" `Slow test_registry_round_trip;
+        ] );
       ( "benchmark campaigns",
         [
           Alcotest.test_case "table 2" `Slow test_table2;

@@ -22,6 +22,26 @@ let test_profile_round_trip () =
   Alcotest.(check bool) "unknown profile rejected" true
     (Profile.of_string "bogus" = None)
 
+(* [of_string] mirrors [Gc_config.kind_of_string]: case-insensitive,
+   blind to separators, and accepting the obvious shorthands. *)
+let test_profile_spellings () =
+  let resolves spelling expected =
+    match Profile.of_string spelling with
+    | Some p ->
+        Alcotest.(check string)
+          (spelling ^ " resolves")
+          expected (Profile.to_string p)
+    | None -> Alcotest.failf "spelling %s not accepted" spelling
+  in
+  resolves "Pause-Spike" "pause-spike";
+  resolves "pause_spike" "pause-spike";
+  resolves "pause spike" "pause-spike";
+  resolves "spike" "pause-spike";
+  resolves "FlakyNetwork" "flaky-network";
+  resolves "flaky" "flaky-network";
+  resolves "off" "none";
+  resolves "STORM" "storm"
+
 (* --- injector ------------------------------------------------------- *)
 
 let drive inj times =
@@ -256,7 +276,10 @@ let () =
   Alcotest.run "fault"
     [
       ( "profile",
-        [ Alcotest.test_case "round trip" `Quick test_profile_round_trip ] );
+        [
+          Alcotest.test_case "round trip" `Quick test_profile_round_trip;
+          Alcotest.test_case "spellings" `Quick test_profile_spellings;
+        ] );
       ( "injector",
         [
           Alcotest.test_case "deterministic" `Quick test_injector_deterministic;

@@ -26,7 +26,7 @@ trace_jobs="${2:-1}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-artifacts=(table2 table3 fig3 faults)
+artifacts=(table2 table3 fig3 faults cluster)
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
