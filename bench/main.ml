@@ -136,6 +136,23 @@ let par_trace_test ~domains =
          done;
          Os.finish_trace s ~pred:Os.Trace_live ~marked ~stack ~domains))
 
+(* The relocation kernel alone: plan all 50k objects to their current
+   location (so the move is idempotent and every run sees the same
+   store) and apply the plan through [finish_relocate].  Same naming
+   caveat as par-trace: on a single-core host jobs4 measures the crew
+   hand-off plus time-sharing, not a speedup. *)
+let par_move_test ~domains =
+  let module Os = Gcperf_heap.Obj_store in
+  let s = Os.create () in
+  let n = 50_000 in
+  let ids = Array.init n (fun _ -> Os.alloc s ~size:64 ~loc:Os.Old) in
+  Test.make
+    ~name:(Printf.sprintf "par-move-jobs%d" domains)
+    (Staged.stage (fun () ->
+         Os.plan_clear s;
+         Array.iter (fun id -> Os.plan_push_old s id ~age:3) ids;
+         ignore (Os.finish_relocate s ~domains)))
+
 let micro_tests =
   [
     Test.make ~name:"alloc-tlab"
@@ -200,6 +217,7 @@ let micro_tests =
                (Span.Fixed, 900.0);
                (Span.Copy, 9745.6);
              ];
+           sub = [ (Span.Plan, 1218.2); (Span.Move, 8527.4) ];
            young_before = 64 * mb;
            young_after = 4 * mb;
            old_before = 16 * mb;
@@ -239,6 +257,8 @@ let micro_tests =
        Staged.stage (fun () -> ignore (Gcperf_stats.Stats.latency_report pts)));
     par_trace_test ~domains:1;
     par_trace_test ~domains:4;
+    par_move_test ~domains:1;
+    par_move_test ~domains:4;
   ]
 
 (* --- policy: adaptive sizing overhead --------------------------------- *)

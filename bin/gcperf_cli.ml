@@ -52,17 +52,22 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
-let trace_jobs_arg =
+let gc_jobs_arg =
   let doc =
-    "Worker domains for intra-collection tracing (the mark/scan kernel \
-     inside each simulated pause).  Independent of $(b,--jobs); results \
-     are byte-identical for every value.  Default 1 (sequential)."
+    "Worker domains for the intra-collection kernels: the mark/scan \
+     trace and the copy/promote/evacuate/compact relocation inside each \
+     simulated pause.  Independent of $(b,--jobs); results are \
+     byte-identical for every value.  Default 1 (sequential).  \
+     $(b,--trace-jobs) is an alias kept for older scripts."
   in
-  Arg.(value & opt (some int) None & info [ "trace-jobs" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gc-jobs"; "trace-jobs" ] ~docv:"N" ~doc)
 
-let apply_trace_jobs = function
+let apply_gc_jobs = function
   | None -> ()
-  | Some n -> Gcperf_heap.Obj_store.set_default_trace_domains n
+  | Some n -> Gcperf_heap.Obj_store.set_default_gc_domains n
 
 let emit out text =
   match out with
@@ -155,10 +160,10 @@ let run_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Experiment id (see $(b,gcperf list)).")
   in
-  let run id quick scope format jobs trace_jobs out =
+  let run id quick scope format jobs gc_jobs out =
     let scope = resolve_scope quick scope in
     let format = parse_format format in
-    apply_trace_jobs trace_jobs;
+    apply_gc_jobs gc_jobs;
     match Gcperf.Experiments.artifact ~scope ?jobs id with
     | None ->
         Printf.eprintf "unknown experiment %S%s; try `gcperf list`\n" id
@@ -169,7 +174,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ id_arg $ quick_arg $ scope_arg $ format_arg $ jobs_arg
-      $ trace_jobs_arg $ out_arg)
+      $ gc_jobs_arg $ out_arg)
 
 (* --- trace --------------------------------------------------------- *)
 
@@ -537,9 +542,9 @@ let suite_cmd =
 
 let all_cmd =
   let doc = "Run every experiment and print all artifacts in order." in
-  let run quick scope jobs trace_jobs =
+  let run quick scope jobs gc_jobs =
     let scope = resolve_scope quick scope in
-    apply_trace_jobs trace_jobs;
+    apply_gc_jobs gc_jobs;
     (* Campaign siblings (fig1/fig2, fig5/table567) share one run via
        the registry memo, so the full sweep costs no duplicate work. *)
     List.iter
@@ -552,7 +557,7 @@ let all_cmd =
       (Gcperf.Experiments.all ())
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ quick_arg $ scope_arg $ jobs_arg $ trace_jobs_arg)
+    Term.(const run $ quick_arg $ scope_arg $ jobs_arg $ gc_jobs_arg)
 
 let main =
   let doc = "A multicore garbage-collector performance laboratory (PMAM'15)" in

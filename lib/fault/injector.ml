@@ -8,6 +8,11 @@ type t = {
   prng : Prng.t;
   clock : Clock.t;
   pauses : (float * float) array;
+  (* Per-profile outcome thresholds flattened into one float array
+     (error, drop, delay, delay_min_ms, delay_span): [outcome] runs once
+     per simulated request, and unboxed array loads keep the hot path to
+     four draws plus compares instead of chasing boxed profile fields. *)
+  thresholds : float array;
   (* Monotone cursor into [pauses] for the spike window: callers advance
      time forward only, so the first pause whose window has not fully
      passed is all we ever need. *)
@@ -20,6 +25,14 @@ let create ~profile ~seed ~pauses =
     prng = Prng.create seed;
     clock = Clock.create ();
     pauses;
+    thresholds =
+      [|
+        profile.Profile.error_prob;
+        profile.Profile.drop_prob;
+        profile.Profile.delay_prob;
+        profile.Profile.delay_min_ms;
+        profile.Profile.delay_max_ms -. profile.Profile.delay_min_ms;
+      |];
     spike_cursor = 0;
   }
 
@@ -33,17 +46,19 @@ let advance_to t at_s =
 
 let outcome t =
   (* Fixed draw order and count (error, drop, delay, delay length): the
-     stream position after a request is independent of the outcome. *)
-  let u_error = Prng.float t.prng 1.0 in
-  let u_drop = Prng.float t.prng 1.0 in
-  let u_delay = Prng.float t.prng 1.0 in
-  let u_len = Prng.float t.prng 1.0 in
-  let p = t.profile in
-  if u_error < p.Profile.error_prob then Error
-  else if u_drop < p.Profile.drop_prob then Drop
-  else if u_delay < p.Profile.delay_prob then
-    Delay (p.Profile.delay_min_ms
-           +. (u_len *. (p.Profile.delay_max_ms -. p.Profile.delay_min_ms)))
+     stream position after a request is independent of the outcome.
+     [unit_float] sits at the same stream position as [float _ 1.0] and
+     yields the same value, so the schedule is unchanged. *)
+  let prng = t.prng in
+  let u_error = Prng.unit_float prng in
+  let u_drop = Prng.unit_float prng in
+  let u_delay = Prng.unit_float prng in
+  let u_len = Prng.unit_float prng in
+  let thr = t.thresholds in
+  if u_error < Array.unsafe_get thr 0 then Error
+  else if u_drop < Array.unsafe_get thr 1 then Drop
+  else if u_delay < Array.unsafe_get thr 2 then
+    Delay (Array.unsafe_get thr 3 +. (u_len *. Array.unsafe_get thr 4))
   else Pass
 
 let load_multiplier t at_s =

@@ -100,7 +100,9 @@ let create ctx (config : Gc_config.t) =
     let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
     let young = Gh.young_used heap and old = heap.Gh.old_used in
     Gc_ctx.record_pause ctx ~collector:name ~kind:Gc_event.Initial_mark
-      ~reason:"occupancy threshold" ~phases ~duration_us:duration
+      ~reason:"occupancy threshold"
+      ~phases:(fun () -> phases)
+      ~duration_us:duration
       ~young_before:young ~young_after:young ~old_before:old ~old_after:old
       ~promoted:0;
     st.phase <- Marking { remaining_bytes = float_of_int heap.Gh.old_used }
@@ -144,7 +146,9 @@ let create ctx (config : Gc_config.t) =
     let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
     let young = Gh.young_used heap and old = heap.Gh.old_used in
     Gc_ctx.record_pause ctx ~collector:name ~kind:Gc_event.Remark
-      ~reason:"concurrent cycle" ~phases ~duration_us:duration
+      ~reason:"concurrent cycle"
+      ~phases:(fun () -> phases)
+      ~duration_us:duration
       ~young_before:young ~young_after:young ~old_before:old ~old_after:old
       ~promoted:0;
     st.phase <-

@@ -19,6 +19,8 @@ type t = {
   mutable last_pause_end_us : float;
   mutable young_capacity : unit -> int;
   mutable heap_capacity : unit -> int;
+  scratch_obs : Policy.observation;
+      (* reused per pause; policies copy what they keep during observe *)
 }
 
 let create ?telemetry machine clock events =
@@ -38,29 +40,24 @@ let create ?telemetry machine clock events =
     last_pause_end_us = 0.0;
     young_capacity = (fun () -> 0);
     heap_capacity = (fun () -> 0);
+    scratch_obs = Policy.scratch_observation ();
   }
 
 let stw_begin_us t =
   Gcperf_machine.Machine.time_to_safepoint t.machine
     ~mutator_threads:t.mutator_threads
 
-let record_pause t ~collector ~kind ~reason ~phases ~duration_us
+(* [phases] (and the optional [sub] plan/move attribution) are thunks:
+   the phase breakdown exists for telemetry spans only, so the per-pause
+   list and its boxed floats are built exclusively when a span is
+   actually recorded — the telemetry-off hot path pays one closure
+   construction and no list. *)
+let record_pause ?sub t ~collector ~kind ~reason ~phases ~duration_us
     ~young_before ~young_after ~old_before ~old_after ~promoted =
   let start_us = Gcperf_sim.Clock.now_us t.clock in
   Gcperf_sim.Clock.advance_us t.clock duration_us;
-  Gcperf_sim.Gc_event.record t.events
-    {
-      start_us;
-      duration_us;
-      kind;
-      collector;
-      reason;
-      young_before;
-      young_after;
-      old_before;
-      old_after;
-      promoted;
-    };
+  Gcperf_sim.Gc_event.record t.events ~start_us ~duration_us ~kind ~collector
+    ~reason ~young_before ~young_after ~old_before ~old_after ~promoted;
   if Telemetry.enabled t.telemetry then begin
     Telemetry.record_span t.telemetry
       {
@@ -69,7 +66,8 @@ let record_pause t ~collector ~kind ~reason ~phases ~duration_us
         cause = reason;
         start_us;
         duration_us;
-        phases;
+        phases = phases ();
+        sub = (match sub with None -> [] | Some f -> f ());
         young_before;
         young_after;
         old_before;
@@ -100,17 +98,16 @@ let record_pause t ~collector ~kind ~reason ~phases ~duration_us
       let interval_ms =
         Float.max 0.0 ((start_us -. t.last_pause_end_us) /. 1000.0)
       in
-      p.Policy.observe
-        {
-          Policy.pause_class;
-          pause_ms = duration_us /. 1000.0;
-          interval_ms;
-          promoted_bytes = promoted;
-          survived_bytes = young_after;
-          survivor_overflow = t.survivor_overflow;
-          young_capacity = t.young_capacity ();
-          heap_used = young_after + old_after;
-          heap_capacity = t.heap_capacity ();
-        };
+      let obs = t.scratch_obs in
+      obs.Policy.pause_class <- pause_class;
+      obs.Policy.pause_ms <- duration_us /. 1000.0;
+      obs.Policy.interval_ms <- interval_ms;
+      obs.Policy.promoted_bytes <- promoted;
+      obs.Policy.survived_bytes <- young_after;
+      obs.Policy.survivor_overflow <- t.survivor_overflow;
+      obs.Policy.young_capacity <- t.young_capacity ();
+      obs.Policy.heap_used <- young_after + old_after;
+      obs.Policy.heap_capacity <- t.heap_capacity ();
+      p.Policy.observe obs;
       t.survivor_overflow <- false;
       t.last_pause_end_us <- Gcperf_sim.Clock.now_us t.clock

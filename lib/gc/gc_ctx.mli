@@ -43,6 +43,9 @@ type t = {
       (** current young-generation capacity; installed by the collector *)
   mutable heap_capacity : unit -> int;
       (** total committed heap; installed by the collector *)
+  scratch_obs : Gcperf_policy.Policy.observation;
+      (** observation record reused by {!record_pause} for every pause;
+          policies copy what they keep during [observe] *)
 }
 
 val create :
@@ -59,11 +62,12 @@ val stw_begin_us : t -> float
 (** Cost of bringing all mutator threads to the safepoint. *)
 
 val record_pause :
+  ?sub:(unit -> (Gcperf_telemetry.Span.phase * float) list) ->
   t ->
   collector:string ->
   kind:Gcperf_sim.Gc_event.pause_kind ->
   reason:string ->
-  phases:(Gcperf_telemetry.Span.phase * float) list ->
+  phases:(unit -> (Gcperf_telemetry.Span.phase * float) list) ->
   duration_us:float ->
   young_before:int ->
   young_after:int ->
@@ -73,5 +77,10 @@ val record_pause :
   unit
 (** Advances the clock across the pause, appends the event and — when
     telemetry is enabled — records the equivalent {!Gcperf_telemetry.Span.t}
-    with the per-phase breakdown.  [phases] is the per-phase breakdown
-    summing to [duration_us]; pass [[]] when the caller has none. *)
+    with the per-phase breakdown.  [phases] is a thunk producing the
+    per-phase breakdown summing to [duration_us]; it is forced only when
+    a span is recorded, keeping the telemetry-off path allocation-free.
+    Pass [(fun () -> [])] when the caller has none.  [sub] optionally
+    produces plan/move sub-attributions of relocation phases (see
+    {!Gcperf_telemetry.Span.t.sub}); it never contributes to the
+    duration. *)

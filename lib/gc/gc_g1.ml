@@ -162,9 +162,9 @@ let create ctx (config : Gc_config.t) =
       ~marked ~stack ~domains:ctx.Gc_ctx.trace_domains;
     (marked, !remset_bytes)
   in
-  let record ~kind ~reason ~phases ~duration ~young_before ~old_before
-      ~promoted =
-    Gc_ctx.record_pause ctx ~collector:name ~kind ~reason ~phases
+  let record ?sub ~kind ~reason ~phases ~duration ~young_before ~old_before
+      ~promoted () =
+    Gc_ctx.record_pause ?sub ctx ~collector:name ~kind ~reason ~phases
       ~duration_us:duration ~young_before ~young_after:(young_used ())
       ~old_before ~old_after:(old_hum_used ()) ~promoted
   in
@@ -192,8 +192,9 @@ let create ctx (config : Gc_config.t) =
             List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases
           in
           let y = young_used () and o = old_hum_used () in
-          record ~kind:Gc_event.Initial_mark ~reason:"IHOP crossed" ~phases
-            ~duration ~young_before:y ~old_before:o ~promoted:0;
+          record ~kind:Gc_event.Initial_mark ~reason:"IHOP crossed"
+            ~phases:(fun () -> phases)
+            ~duration ~young_before:y ~old_before:o ~promoted:0 ();
           st.phase <-
             Marking { remaining_bytes = float_of_int (old_hum_used ()) }
         end
@@ -255,16 +256,19 @@ let create ctx (config : Gc_config.t) =
       rheap.Rh.regions;
     let target = ref None in
     let moved_bytes = ref 0 in
+    Os.plan_clear store;
     Vec.iter
       (fun id ->
         let size = Os.size store id in
-        (* Everything that survives a full collection is old data. *)
-        Os.set_age store id (max (Os.age store id) !tenuring);
         moved_bytes := !moved_bytes + size;
         let rec place () =
           match !target with
           | Some r when r.Rh.used + size <= rheap.Rh.region_size ->
-              Os.set_loc_region store id r.Rh.idx;
+              (* Everything that survives a full collection is old data;
+                 the column writes are deferred to the relocation
+                 kernel, the packing decisions stay sequential. *)
+              Os.plan_push_region store id ~region:r.Rh.idx
+                ~age:(max (Os.age store id) !tenuring);
               r.Rh.used <- r.Rh.used + size;
               Vec.push r.Rh.objects id
           | _ -> (
@@ -279,6 +283,7 @@ let create ctx (config : Gc_config.t) =
         in
         place ())
       movable;
+    let moved_objects = Os.finish_relocate store ~domains:ctx.Gc_ctx.trace_domains in
     (* Rebuild remembered sets exactly: cross-region references only. *)
     Os.iter_live store (fun id ->
         let rp = Os.region_index store id in
@@ -314,8 +319,21 @@ let create ctx (config : Gc_config.t) =
       ]
     in
     let duration = List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases in
-    record ~kind:Gc_event.Full ~reason ~phases ~duration ~young_before
-      ~old_before ~promoted:0
+    let sub () =
+      if moved_objects = 0 then []
+      else begin
+        let compact_us =
+          match List.assoc_opt Span.Compact phases with
+          | Some us -> us
+          | None -> 0.0
+        in
+        let plan = compact_us /. 8.0 in
+        [ (Span.Plan, plan); (Span.Move, compact_us -. plan) ]
+      end
+    in
+    record ~sub ~kind:Gc_event.Full ~reason
+      ~phases:(fun () -> phases)
+      ~duration ~young_before ~old_before ~promoted:0 ()
   in
   let remark_and_cleanup () =
     ignore (trace_all ());
@@ -350,8 +368,8 @@ let create ctx (config : Gc_config.t) =
       List.fold_left (fun acc (_, us) -> acc +. us) 0.0 remark_phases
     in
     record ~kind:Gc_event.Remark ~reason:"concurrent cycle"
-      ~phases:remark_phases ~duration:remark_duration ~young_before:y
-      ~old_before:o ~promoted:0;
+      ~phases:(fun () -> remark_phases)
+      ~duration:remark_duration ~young_before:y ~old_before:o ~promoted:0 ();
     (* Cleanup: instantly reclaim fully dead regions, pick mixed
        candidates garbage-first. *)
     let released = ref 0 in
@@ -400,8 +418,8 @@ let create ctx (config : Gc_config.t) =
       List.fold_left (fun acc (_, us) -> acc +. us) 0.0 cleanup_phases
     in
     record ~kind:Gc_event.Cleanup ~reason:"concurrent cycle"
-      ~phases:cleanup_phases ~duration:cleanup_duration ~young_before:y
-      ~old_before:o ~promoted:0;
+      ~phases:(fun () -> cleanup_phases)
+      ~duration:cleanup_duration ~young_before:y ~old_before:o ~promoted:0 ();
     st.phase <- Idle
   in
   let rec young_gc reason =
@@ -492,8 +510,14 @@ let create ctx (config : Gc_config.t) =
       full_gc "evacuation failure"
     end
     else begin
-      (* Evacuate. *)
-      let move_all v kind age_bump =
+      (* Evacuate.  Phase A (plan): first-fit bump packing walks the
+         survivor and promotion sets in trace order, keeping the
+         region-accounting side effects sequential and recording each
+         object's destination region and age.  Every source region is
+         read before any location column is written, so deferring the
+         writes to the kernel observes exactly the same state the
+         in-place loop did. *)
+      let plan_all v kind age_bump =
         let target = ref None in
         Vec.iter
           (fun id ->
@@ -503,8 +527,8 @@ let create ctx (config : Gc_config.t) =
               match !target with
               | Some r when r.Rh.used + size <= rheap.Rh.region_size ->
                   src.Rh.used <- src.Rh.used - size;
-                  Os.set_loc_region store id r.Rh.idx;
-                  Os.set_age store id (Os.age store id + age_bump);
+                  Os.plan_push_region store id ~region:r.Rh.idx
+                    ~age:(Os.age store id + age_bump);
                   r.Rh.used <- r.Rh.used + size;
                   Vec.push r.Rh.objects id
               | _ -> (
@@ -517,8 +541,14 @@ let create ctx (config : Gc_config.t) =
             place ())
           v
       in
-      move_all surv Rh.Survivor 1;
-      move_all prom Rh.Old_region 1;
+      Os.plan_clear store;
+      plan_all surv Rh.Survivor 1;
+      plan_all prom Rh.Old_region 1;
+      (* Phase B (move): apply the evacuation, slab-parallel when the
+         collection set moved enough objects. *)
+      let moved_objects =
+        Os.finish_relocate store ~domains:ctx.Gc_ctx.trace_domains
+      in
       (* Remembered-set maintenance, kept precise: (a) every external
          source that pointed at a moved object is re-recorded against the
          object's new region (the pairs were captured during the remset
@@ -557,44 +587,62 @@ let create ctx (config : Gc_config.t) =
       end
       else st.young_collections <- st.young_collections + 1;
       let workers = m.Machine.gc_threads in
-      let phases =
-        [
-          (Span.Safepoint, Gc_ctx.stw_begin_us ctx);
-          ( Span.Root_scan,
-            Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
-          );
-          (Span.Fixed, cost.Machine.gc_fixed_us);
-          ( Span.Region_overhead,
-            region_fixed_us
-            *. float_of_int (Vec.length cset)
-            /. Machine.parallel_speedup m workers );
-          ( Span.Card_scan,
-            Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
-              ~bytes:remset_bytes );
-          ( Span.Copy,
-            Machine.phase_us m ~rate:cost.Machine.copy_rate ~workers
-              ~bytes:!surv_bytes );
-          ( Span.Promote,
-            let promote_rate =
-              (* As in the generational collectors: promotion into a large
-                 old space is slower per byte. *)
-              cost.Machine.promote_rate
-              /. Float.min 2.5
-                   (1.0
-                   +. (float_of_int old_before /. cost.Machine.locality_bytes))
-            in
-            Machine.phase_us m ~rate:promote_rate ~workers ~bytes:!prom_bytes
-          );
-        ]
+      let safepoint_us = Gc_ctx.stw_begin_us ctx in
+      let root_scan_us =
+        Machine.root_scan_us m ~mutator_threads:ctx.Gc_ctx.mutator_threads
+      in
+      let fixed_us = cost.Machine.gc_fixed_us in
+      let region_us =
+        region_fixed_us
+        *. float_of_int (Vec.length cset)
+        /. Machine.parallel_speedup m workers
+      in
+      let card_scan_us =
+        Machine.phase_us m ~rate:cost.Machine.card_scan_rate ~workers
+          ~bytes:remset_bytes
+      in
+      let copy_us =
+        Machine.phase_us m ~rate:cost.Machine.copy_rate ~workers
+          ~bytes:!surv_bytes
+      in
+      let promote_us =
+        let promote_rate =
+          (* As in the generational collectors: promotion into a large
+             old space is slower per byte. *)
+          cost.Machine.promote_rate
+          /. Float.min 2.5
+               (1.0 +. (float_of_int old_before /. cost.Machine.locality_bytes))
+        in
+        Machine.phase_us m ~rate:promote_rate ~workers ~bytes:!prom_bytes
       in
       let duration =
-        List.fold_left (fun acc (_, us) -> acc +. us) 0.0 phases
+        0.0 +. safepoint_us +. root_scan_us +. fixed_us +. region_us
+        +. card_scan_us +. copy_us +. promote_us
+      in
+      let phases () =
+        [
+          (Span.Safepoint, safepoint_us);
+          (Span.Root_scan, root_scan_us);
+          (Span.Fixed, fixed_us);
+          (Span.Region_overhead, region_us);
+          (Span.Card_scan, card_scan_us);
+          (Span.Copy, copy_us);
+          (Span.Promote, promote_us);
+        ]
+      in
+      let sub () =
+        if moved_objects = 0 then []
+        else begin
+          let reloc = copy_us +. promote_us in
+          let plan = reloc /. 8.0 in
+          [ (Span.Plan, plan); (Span.Move, reloc -. plan) ]
+        end
       in
       st.marking_allowed <- true;
-      record
+      record ~sub
         ~kind:(if mixed then Gc_event.Mixed else Gc_event.Young)
         ~reason ~phases ~duration ~young_before ~old_before
-        ~promoted:!prom_bytes;
+        ~promoted:!prom_bytes ();
       maybe_start_marking ()
     end
   and alloc ~size =

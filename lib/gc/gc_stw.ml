@@ -64,11 +64,17 @@ let create ctx (config : Gc_config.t) =
     | _outcome -> ()
     | exception Gen_algo.Promotion_failure -> full "promotion failure"
   in
-  let alloc ~size =
+  (* Eden-full handling, out of line: the eden fast path in [alloc] is
+     the hottest call in the simulator, and keeping the recovery paths in
+     a separate function keeps it branch-lean. *)
+  let alloc_slow ~size =
     (* Objects too large for eden go straight to the old generation, as
-       HotSpot does for very large allocations.  [eden_cap] is read per
-       allocation: the adaptive sizing policy can move it between
-       safepoints. *)
+       HotSpot does for very large allocations.  [eden_cap] is read only
+       after the fast path fails: an over-eden-capacity request can never
+       fit eden, so the fast [alloc_eden_id] attempt refuses it with no
+       side effects and the check is equivalent to testing it first.
+       ([eden_cap] itself can move between safepoints under the adaptive
+       sizing policy, which is why it is read per failure, not cached.) *)
     if size > heap.Gh.eden_cap then begin
       match Gh.alloc_old_direct heap ~size with
       | Some id -> id
@@ -82,29 +88,29 @@ let create ctx (config : Gc_config.t) =
                    (Printf.sprintf "%s: cannot fit %d-byte object" name size)))
     end
     else begin
-      let id = Gh.alloc_eden_id heap ~size in
-      if id >= 0 then id
-      else begin
-        minor "allocation failure";
-        match Gh.alloc_eden heap ~size with
-        | Some id -> id
-        | None -> (
-            (* Eden still full after a young collection: survivors (or
-               full-GC overflow) crowd it.  One full collection, then
-               either eden or the old generation must take the object. *)
-            full "allocation failure";
-            match Gh.alloc_eden heap ~size with
-            | Some id -> id
-            | None -> (
-                match Gh.alloc_old_direct heap ~size with
-                | Some id -> id
-                | None ->
-                    raise
-                      (Gc_ctx.Out_of_memory
-                         (Printf.sprintf "%s: heap exhausted allocating %d bytes"
-                            name size))))
-      end
+      minor "allocation failure";
+      match Gh.alloc_eden heap ~size with
+      | Some id -> id
+      | None -> (
+          (* Eden still full after a young collection: survivors (or
+             full-GC overflow) crowd it.  One full collection, then
+             either eden or the old generation must take the object. *)
+          full "allocation failure";
+          match Gh.alloc_eden heap ~size with
+          | Some id -> id
+          | None -> (
+              match Gh.alloc_old_direct heap ~size with
+              | Some id -> id
+              | None ->
+                  raise
+                    (Gc_ctx.Out_of_memory
+                       (Printf.sprintf "%s: heap exhausted allocating %d bytes"
+                          name size))))
     end
+  in
+  let alloc ~size =
+    let id = Gh.alloc_eden_id heap ~size in
+    if id >= 0 then id else alloc_slow ~size
   in
   let alloc_old ~size =
     match Gh.alloc_old_direct heap ~size with

@@ -19,6 +19,7 @@ let record_resize ctx ~collector ~young_before ~young_after ~old_before
         start_us = Gcperf_sim.Clock.now_us ctx.Gc_ctx.clock;
         duration_us = 0.0;
         phases = [];
+        sub = [];
         young_before;
         young_after;
         old_before;

@@ -111,7 +111,7 @@ let resize_young t ~young_bytes ~survivor_ratio =
 (* Option-free variant for the per-allocation hot path: [-1] means eden
    cannot fit the object.  [alloc_eden] keeps the option interface for
    callers off the hot path. *)
-let alloc_eden_id t ~size =
+let[@inline] alloc_eden_id t ~size =
   if size > eden_free t then -1
   else begin
     let id = Obj_store.alloc t.store ~size ~loc:Obj_store.Eden in
@@ -221,7 +221,12 @@ let refresh_cards t ~extra =
 
 let rebuild_cards t =
   clear_cards t;
-  Vec.iter (fun id -> consider_card t id) t.old_ids
+  (* Object sizes are positive, so zero young bytes means no young
+     objects: every recount would find 0 young refs and mark nothing.
+     Consumers never read the counters without recounting first, so the
+     stale [young_refs] values left behind are unobservable. *)
+  if t.eden_used > 0 || t.survivor_used > 0 then
+    Vec.iter (fun id -> consider_card t id) t.old_ids
 
 let record_store t ~parent ~child =
   Obj_store.add_ref t.store ~from:parent ~to_:child;

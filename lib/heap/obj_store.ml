@@ -73,6 +73,21 @@ type t = {
   mutable scan_outs : buf array;  (* per-worker next-frontier output *)
   frontier_a : buf;
   frontier_b : buf;
+  (* Relocation plan (see [finish_relocate]): parallel triples of object
+     id, destination location code and destination age, filled in
+     placement order by the collector's plan pass. *)
+  mutable plan_ids : int array;
+  mutable plan_code : int array;
+  mutable plan_age : int array;
+  mutable plan_n : int;
+  (* Double-buffered destination arena for [rebuild_edges]: the retired
+     source arena becomes the next rebuild's preallocated destination, so
+     steady-state rebuilds allocate nothing in the host runtime. *)
+  mutable edges_spare : int array;
+  (* Per-worker slab cursors for the parallel edge rebuild (slab start
+     offset into the destination arena, computed by the sequential
+     prefix-sum over slab sizes). *)
+  mutable slab_base : int array;
 }
 
 let create () =
@@ -99,6 +114,12 @@ let create () =
     scan_outs = [||];
     frontier_a = buf_create ();
     frontier_b = buf_create ();
+    plan_ids = [||];
+    plan_code = [||];
+    plan_age = [||];
+    plan_n = 0;
+    edges_spare = [||];
+    slab_base = [||];
   }
 
 let[@inline] is_young_loc = function
@@ -124,28 +145,36 @@ let[@inline] check_live t id =
 let[@inline] is_live t id =
   id >= 0 && id < t.slot_count && t.locv.(id) <> code_nowhere
 
-let[@inline] size t id = t.sizev.(id)
-let[@inline] age t id = t.agev.(id)
-let[@inline] set_age t id v = t.agev.(id) <- v
-let[@inline] loc_code t id = t.locv.(id)
-let[@inline] loc t id = loc_of_code t.locv.(id)
-let[@inline] young_refs t id = t.yrefv.(id)
+(* Per-id accessors compile to single unchecked word moves: every id a
+   caller can legitimately hold is below [slot_count] (ids are only
+   minted by [alloc] and recycled through the free list), so the array
+   bounds check would re-prove a structural invariant on the simulator's
+   hottest loads.  [is_live]/[check_live] remain the checked entry
+   points for untrusted ids. *)
+let[@inline] size t id = Array.unsafe_get t.sizev id
+let[@inline] age t id = Array.unsafe_get t.agev id
+let[@inline] set_age t id v = Array.unsafe_set t.agev id v
+let[@inline] loc_code t id = Array.unsafe_get t.locv id
+let[@inline] loc t id = loc_of_code (Array.unsafe_get t.locv id)
+let[@inline] young_refs t id = Array.unsafe_get t.yrefv id
 
-let[@inline] is_young t id = t.locv.(id) <= code_survivor
-let[@inline] is_old t id = t.locv.(id) = code_old
-let[@inline] is_nowhere t id = t.locv.(id) = code_nowhere
+let[@inline] is_young t id = Array.unsafe_get t.locv id <= code_survivor
+let[@inline] is_old t id = Array.unsafe_get t.locv id = code_old
+let[@inline] is_nowhere t id = Array.unsafe_get t.locv id = code_nowhere
 
 let[@inline] region_index t id =
-  let c = t.locv.(id) in
+  let c = Array.unsafe_get t.locv id in
   if c >= region_base then c - region_base else -1
 
-let[@inline] in_region t id idx = t.locv.(id) = region_base + idx
+let[@inline] in_region t id idx =
+  Array.unsafe_get t.locv id = region_base + idx
 
-let[@inline] set_loc t id l = t.locv.(id) <- code_of_loc l
-let[@inline] set_loc_eden t id = t.locv.(id) <- code_eden
-let[@inline] set_loc_survivor t id = t.locv.(id) <- code_survivor
-let[@inline] set_loc_old t id = t.locv.(id) <- code_old
-let[@inline] set_loc_region t id idx = t.locv.(id) <- region_base + idx
+let[@inline] set_loc t id l = Array.unsafe_set t.locv id (code_of_loc l)
+let[@inline] set_loc_eden t id = Array.unsafe_set t.locv id code_eden
+let[@inline] set_loc_survivor t id = Array.unsafe_set t.locv id code_survivor
+let[@inline] set_loc_old t id = Array.unsafe_set t.locv id code_old
+let[@inline] set_loc_region t id idx =
+  Array.unsafe_set t.locv id (region_base + idx)
 
 (* --- epoch-stamped marks --------------------------------------------- *)
 
@@ -155,11 +184,11 @@ let[@inline] set_loc_region t id idx = t.locv.(id) <- region_base + idx
 
 let[@inline] begin_trace t = t.epoch <- t.epoch + 1
 
-let[@inline] mark t id = t.markv.(id) <- t.epoch
+let[@inline] mark t id = Array.unsafe_set t.markv id t.epoch
 
-let[@inline] is_marked t id = t.markv.(id) = t.epoch
+let[@inline] is_marked t id = Array.unsafe_get t.markv id = t.epoch
 
-let[@inline] unmark t id = t.markv.(id) <- 0
+let[@inline] unmark t id = Array.unsafe_set t.markv id 0
 
 (* --- allocation ------------------------------------------------------- *)
 
@@ -181,8 +210,9 @@ let[@inline never] grow_columns t =
   t.ref_cap <- extend t.ref_cap;
   t.live_pos <- extend t.live_pos
 
+(* Sizes are positive by construction at every call site (allocation
+   requests are validated at the VM boundary); no assert on this path. *)
 let[@inline] alloc_code t ~size ~code =
-  assert (size > 0);
   let id =
     if Ivec.is_empty t.free_slots then begin
       let id = t.slot_count in
@@ -191,16 +221,19 @@ let[@inline] alloc_code t ~size ~code =
       id
       (* fresh columns are zero-filled: the ref slice starts empty *)
     end
-    else Ivec.pop t.free_slots
+    else Ivec.unsafe_pop t.free_slots
     (* the recycled slot's ref slice was emptied by [free] and keeps its
        arena capacity, exactly as the per-object vectors used to *)
   in
-  t.sizev.(id) <- size;
-  t.locv.(id) <- code;
-  t.agev.(id) <- 0;
-  t.markv.(id) <- 0;
-  t.yrefv.(id) <- 0;
-  t.live_pos.(id) <- Ivec.length t.live_list;
+  (* [id < Array.length t.sizev] by construction (grow above, or a
+     recycled slot), and every column shares that length: unchecked
+     stores keep the per-allocation cost to the seven word writes. *)
+  Array.unsafe_set t.sizev id size;
+  Array.unsafe_set t.locv id code;
+  Array.unsafe_set t.agev id 0;
+  Array.unsafe_set t.markv id 0;
+  Array.unsafe_set t.yrefv id 0;
+  Array.unsafe_set t.live_pos id (Ivec.length t.live_list);
   Ivec.push t.live_list id;
   id
 
@@ -209,18 +242,59 @@ let alloc t ~size ~loc = alloc_code t ~size ~code:(code_of_loc loc)
 let alloc_region t ~size ~region =
   alloc_code t ~size ~code:(region_base + region)
 
+(* Core of [free] without the liveness checks, shared with the batch
+   sweep kernels.  The [free_slots] push order decides future id
+   recycling, which the goldens depend on — every caller must visit dead
+   objects in the same order the checked per-object loop did. *)
+let[@inline] free_unchecked t id =
+  (* Only [locv] and [ref_len] need clearing.  [markv]/[yrefv] of a dead
+     id are unreachable — every reader guards on location first
+     ([code_nowhere] fails both the young and the not-nowhere tests) and
+     [alloc_code] re-zeroes them on recycling — and [live_pos] is only
+     read while live.  [ref_len] must drop to zero here: the recycled
+     slot keeps its arena slice capacity but starts with no refs. *)
+  Array.unsafe_set t.locv id code_nowhere;
+  Array.unsafe_set t.ref_len id 0;
+  (* Inlined swap-remove of the live-list slot: move the tail id into the
+     vacated position and patch its back-pointer.  When [id] is itself
+     the tail ([p = last]) the self-move is harmless and no patch is
+     needed — identical to the checked original. *)
+  let p = Array.unsafe_get t.live_pos id in
+  let live = t.live_list in
+  let moved = Ivec.unsafe_pop live in
+  if p < Ivec.length live then begin
+    Ivec.unsafe_set live p moved;
+    Array.unsafe_set t.live_pos moved p
+  end;
+  Ivec.push t.free_slots id
+
 let free t id =
   check t id;
   if t.locv.(id) = code_nowhere then invalid_arg "Obj_store.free: double free";
-  t.locv.(id) <- code_nowhere;
-  t.markv.(id) <- 0;
-  t.yrefv.(id) <- 0;
-  t.ref_len.(id) <- 0;
-  let p = t.live_pos.(id) in
-  ignore (Ivec.swap_remove t.live_list p);
-  if p < Ivec.length t.live_list then t.live_pos.(Ivec.get t.live_list p) <- p;
-  t.live_pos.(id) <- -1;
-  Ivec.push t.free_slots id
+  free_unchecked t id
+
+(* --- parallel-kernel knobs --------------------------------------------
+
+   One process-global worker-domain count serves both intra-collection
+   kernels (the mark/scan trace and the relocation move), seeded from the
+   CLI [--gc-jobs] (née [--trace-jobs]) and snapshotted by contexts at
+   creation.  The two engagement thresholds are separate: tracing
+   amortises crew hand-off over a frontier expansion, moving over a flat
+   slab copy, and tests lower each independently. *)
+
+let default_domains = Atomic.make 1
+let set_default_trace_domains n = Atomic.set default_domains (max 1 n)
+let default_trace_domains () = Atomic.get default_domains
+let set_default_gc_domains = set_default_trace_domains
+let default_gc_domains = default_trace_domains
+
+let par_threshold = Atomic.make 64
+let set_par_trace_threshold n = Atomic.set par_threshold (max 0 n)
+let par_trace_threshold () = Atomic.get par_threshold
+
+let move_threshold = Atomic.make 256
+let set_par_move_threshold n = Atomic.set move_threshold (max 0 n)
+let par_move_threshold () = Atomic.get move_threshold
 
 (* --- CSR edge arena --------------------------------------------------- *)
 
@@ -230,7 +304,28 @@ let free t id =
    a store at least twice the live size — one deterministic path covering
    both growth and compaction.  Rebuilds only happen from the mutator-
    facing ref operations, never mid-trace, so trace kernels can cache the
-   [edges] array. *)
+   [edges] array.
+
+   The destination arena is double-buffered: the retired source array is
+   kept as [edges_spare] and becomes the next rebuild's preallocated
+   destination when large enough, so steady-state rebuilds allocate
+   nothing.  Above [move_threshold] slots the packing runs slab-parallel:
+   slabs are contiguous id ranges, a sequential prefix-sum over per-slab
+   slice totals assigns each slab its destination base, and workers then
+   pack disjoint ranges — the layout is byte-identical to the sequential
+   walk at any worker count. *)
+
+let[@inline] pack_edges_range t ~src ~dst ~lo ~hi ~pos0 =
+  let ref_off = t.ref_off and ref_len = t.ref_len and ref_cap = t.ref_cap in
+  let pos = ref pos0 in
+  for id = lo to hi - 1 do
+    let len = ref_len.(id) in
+    if len > 0 then Array.blit src ref_off.(id) dst !pos len;
+    ref_off.(id) <- !pos;
+    ref_cap.(id) <- len;
+    pos := !pos + len
+  done;
+  !pos
 
 let[@inline never] rebuild_edges t need =
   let live = t.edges_len - t.edges_garbage in
@@ -239,17 +334,47 @@ let[@inline never] rebuild_edges t need =
   while !ncap < target * 2 do
     ncap := !ncap * 2
   done;
-  let nd = Array.make !ncap 0 in
-  let pos = ref 0 in
-  for id = 0 to t.slot_count - 1 do
-    let len = t.ref_len.(id) in
-    if len > 0 then Array.blit t.edges t.ref_off.(id) nd !pos len;
-    t.ref_off.(id) <- !pos;
-    t.ref_cap.(id) <- len;
-    pos := !pos + len
-  done;
-  t.edges <- nd;
-  t.edges_len <- !pos;
+  let src = t.edges in
+  let dst =
+    if Array.length t.edges_spare >= !ncap then t.edges_spare
+    else Array.make !ncap 0
+  in
+  let slot_n = t.slot_count in
+  let domains = Atomic.get default_domains in
+  let par =
+    domains > 1
+    && slot_n >= Atomic.get move_threshold
+    && Crew.try_with ~domains (fun crew ->
+           let slots = Crew.size crew in
+           if Array.length t.slab_base < slots + 1 then
+             t.slab_base <- Array.make (slots + 1) 0;
+           let base = t.slab_base in
+           let chunk = (slot_n + slots - 1) / slots in
+           let ref_len = t.ref_len in
+           (* Phase A (plan): per-slab slice totals, then the sequential
+              prefix-sum assigning each slab its destination base. *)
+           let pos = ref 0 in
+           for s = 0 to slots - 1 do
+             base.(s) <- !pos;
+             let lo = s * chunk and hi = min slot_n ((s + 1) * chunk) in
+             for id = lo to hi - 1 do
+               pos := !pos + ref_len.(id)
+             done
+           done;
+           base.(slots) <- !pos;
+           (* Phase B (move): each worker packs its own slab. *)
+           Crew.run crew (fun slot ->
+               if slot < slots then begin
+                 let lo = slot * chunk and hi = min slot_n ((slot + 1) * chunk) in
+                 if lo < hi then
+                   ignore (pack_edges_range t ~src ~dst ~lo ~hi ~pos0:base.(slot))
+               end);
+           t.edges_len <- base.(slots))
+  in
+  if not par then
+    t.edges_len <- pack_edges_range t ~src ~dst ~lo:0 ~hi:slot_n ~pos0:0;
+  t.edges <- dst;
+  t.edges_spare <- (if src == dst then [||] else src);
   t.edges_garbage <- 0
 
 let[@inline] reserve_edges t need =
@@ -414,14 +539,6 @@ let desc_len_mask = (1 lsl desc_len_bits) - 1
 let desc_len_shift = desc_owner_bits
 let desc_off_shift = desc_owner_bits + desc_len_bits
 
-let default_domains = Atomic.make 1
-let set_default_trace_domains n = Atomic.set default_domains (max 1 n)
-let default_trace_domains () = Atomic.get default_domains
-
-let par_threshold = Atomic.make 64
-let set_par_trace_threshold n = Atomic.set par_threshold (max 0 n)
-let par_trace_threshold () = Atomic.get par_threshold
-
 let sequential_finish t ~pred ~marked ~stack =
   let edges = t.edges
   and ref_off = t.ref_off
@@ -429,21 +546,24 @@ let sequential_finish t ~pred ~marked ~stack =
   and markv = t.markv
   and locv = t.locv
   and ep = t.epoch in
+  (* Unsafe accesses: [v] comes off the stack (a live id below every
+     column's length) and [c] out of the edge arena, whose entries are
+     ids the store itself wrote. *)
   while not (Ivec.is_empty stack) do
-    let v = Ivec.pop stack in
-    let off = ref_off.(v) in
-    for i = off to off + ref_len.(v) - 1 do
-      let c = edges.(i) in
+    let v = Ivec.unsafe_pop stack in
+    let off = Array.unsafe_get ref_off v in
+    for i = off to off + Array.unsafe_get ref_len v - 1 do
+      let c = Array.unsafe_get edges i in
       let admit =
         match pred with
-        | Trace_young -> locv.(c) <= code_survivor
-        | Trace_live -> locv.(c) <> code_nowhere
+        | Trace_young -> Array.unsafe_get locv c <= code_survivor
+        | Trace_live -> Array.unsafe_get locv c <> code_nowhere
         | Trace_regions rs ->
-            let l = locv.(c) in
+            let l = Array.unsafe_get locv c in
             l >= region_base && rs.(l - region_base)
       in
-      if admit && markv.(c) <> ep then begin
-        markv.(c) <- ep;
+      if admit && Array.unsafe_get markv c <> ep then begin
+        Array.unsafe_set markv c ep;
         Ivec.push marked c;
         Ivec.push stack c
       end
@@ -568,16 +688,16 @@ let replay t ~marked ~stack =
   and markv = t.markv
   and ep = t.epoch in
   while not (Ivec.is_empty stack) do
-    let v = Ivec.pop stack in
-    let d = desc.(v) in
+    let v = Ivec.unsafe_pop stack in
+    let d = Array.unsafe_get desc v in
     let owner = d land desc_owner_mask in
     let len = (d lsr desc_len_shift) land desc_len_mask in
     let off = d lsr desc_off_shift in
-    let a = bufs.(owner).a in
+    let a = (Array.unsafe_get bufs owner).a in
     for i = off to off + len - 1 do
-      let c = a.(i) in
-      if markv.(c) <> ep then begin
-        markv.(c) <- ep;
+      let c = Array.unsafe_get a i in
+      if Array.unsafe_get markv c <> ep then begin
+        Array.unsafe_set markv c ep;
         Ivec.push marked c;
         Ivec.push stack c
       end
@@ -591,6 +711,129 @@ let finish_trace t ~pred ~marked ~stack ~domains =
     && speculative_scan t ~pred ~stack ~domains
   then replay t ~marked ~stack
   else sequential_finish t ~pred ~marked ~stack
+
+(* --- relocation kernel -------------------------------------------------
+
+   [finish_relocate] is the move half of a two-phase relocation,
+   mirroring [finish_trace]'s split.  Phase A (plan) happens in the
+   collector: walking survivors in deterministic trace order it decides
+   destinations — bump-packing, budget checks, registry pushes and used
+   accounting are inherently ordered and stay sequential — and records
+   each object's target location code and age with {!plan_push}.  Phase B
+   (move) is this kernel: the recorded writes are applied to the [locv]
+   and [agev] columns, slab-parallel above [par_move_threshold] when the
+   crew is free.  Slabs are contiguous plan ranges and each object id
+   appears at most once in a plan, so workers write disjoint column cells
+   and the heap state after the move is byte-identical to the sequential
+   loop at any worker count. *)
+
+let[@inline never] grow_plan t =
+  let cap = Array.length t.plan_ids in
+  let ncap = if cap = 0 then 256 else cap * 2 in
+  let extend col =
+    let nd = Array.make ncap 0 in
+    Array.blit col 0 nd 0 t.plan_n;
+    nd
+  in
+  t.plan_ids <- extend t.plan_ids;
+  t.plan_code <- extend t.plan_code;
+  t.plan_age <- extend t.plan_age
+
+let[@inline] plan_clear t = t.plan_n <- 0
+let[@inline] plan_length t = t.plan_n
+
+let[@inline] plan_push_code t id code age =
+  let n = t.plan_n in
+  if n = Array.length t.plan_ids then grow_plan t;
+  t.plan_ids.(n) <- id;
+  t.plan_code.(n) <- code;
+  t.plan_age.(n) <- age;
+  t.plan_n <- n + 1
+
+let[@inline] plan_push t id ~loc ~age = plan_push_code t id (code_of_loc loc) age
+let[@inline] plan_push_old t id ~age = plan_push_code t id code_old age
+let[@inline] plan_push_survivor t id ~age = plan_push_code t id code_survivor age
+let[@inline] plan_push_eden t id ~age = plan_push_code t id code_eden age
+
+let[@inline] plan_push_region t id ~region ~age =
+  plan_push_code t id (region_base + region) age
+
+let[@inline] apply_plan_range t lo hi =
+  let ids = t.plan_ids and code = t.plan_code and age = t.plan_age in
+  let locv = t.locv and agev = t.agev in
+  for i = lo to hi - 1 do
+    let id = Array.unsafe_get ids i in
+    Array.unsafe_set locv id (Array.unsafe_get code i);
+    Array.unsafe_set agev id (Array.unsafe_get age i)
+  done
+
+let finish_relocate t ~domains =
+  let n = t.plan_n in
+  let par =
+    domains > 1
+    && n >= Atomic.get move_threshold
+    && Crew.try_with ~domains (fun crew ->
+           let slots = Crew.size crew in
+           let chunk = (n + slots - 1) / slots in
+           Crew.run crew (fun slot ->
+               let lo = slot * chunk in
+               let hi = min n (lo + chunk) in
+               if lo < hi then apply_plan_range t lo hi))
+  in
+  if not par then apply_plan_range t 0 n;
+  t.plan_n <- 0;
+  n
+
+(* --- batch sweep kernels -----------------------------------------------
+
+   Column-direct equivalents of the per-object free loops in the
+   collectors.  Visit order, keep order and [free_slots] push order are
+   exactly those of the closure-per-id originals; the win is skipping the
+   per-id closure call and the re-checked column loads. *)
+
+(* [filter_in_place] for a young registry: keep young+marked ids, free
+   young+unmarked ids (accumulating their bytes), drop the rest (objects
+   promoted out of the young spaces).  Returns the freed byte count. *)
+let sweep_young_registry t v =
+  let locv = t.locv and markv = t.markv and sizev = t.sizev in
+  let ep = t.epoch in
+  let freed = ref 0 in
+  let j = ref 0 in
+  let n = Ivec.length v in
+  for i = 0 to n - 1 do
+    let id = Ivec.unsafe_get v i in
+    if Array.unsafe_get locv id <= code_survivor then
+      if Array.unsafe_get markv id = ep then begin
+        Ivec.unsafe_set v !j id;
+        incr j
+      end
+      else begin
+        freed := !freed + Array.unsafe_get sizev id;
+        free_unchecked t id
+      end
+  done;
+  Ivec.truncate v !j;
+  !freed
+
+(* Full-collection sweep over a registry: free every still-present
+   unmarked id, leave the registry itself untouched (the caller compacts
+   it afterwards).  Returns the freed byte count. *)
+let sweep_dead t v =
+  let locv = t.locv and markv = t.markv and sizev = t.sizev in
+  let ep = t.epoch in
+  let freed = ref 0 in
+  let n = Ivec.length v in
+  for i = 0 to n - 1 do
+    let id = Ivec.unsafe_get v i in
+    if
+      Array.unsafe_get locv id <> code_nowhere
+      && Array.unsafe_get markv id <> ep
+    then begin
+      freed := !freed + Array.unsafe_get sizev id;
+      free_unchecked t id
+    end
+  done;
+  !freed
 
 (* Debug/bench introspection. *)
 let edges_capacity t = Array.length t.edges

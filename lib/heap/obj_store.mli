@@ -200,11 +200,18 @@ val finish_trace :
     order. *)
 
 val set_default_trace_domains : int -> unit
-(** Process-global default for intra-collection trace parallelism,
-    consumed by collectors at context creation (CLI [--trace-jobs]).
-    Clamped to at least 1 (sequential). *)
+(** Process-global default for intra-collection GC parallelism (tracing
+    and relocation), consumed by collectors at context creation (CLI
+    [--gc-jobs], née [--trace-jobs]).  Clamped to at least 1
+    (sequential). *)
 
 val default_trace_domains : unit -> int
+
+val set_default_gc_domains : int -> unit
+(** Alias of {!set_default_trace_domains}: one worker-domain count drives
+    both the trace and relocation kernels. *)
+
+val default_gc_domains : unit -> int
 
 val set_par_trace_threshold : int -> unit
 (** Minimum seed-stack depth before [finish_trace] engages the crew;
@@ -212,6 +219,73 @@ val set_par_trace_threshold : int -> unit
     exercise the parallel kernel on small graphs. *)
 
 val par_trace_threshold : unit -> int
+
+(** {1 Relocation kernel}
+
+    [finish_relocate] is the move half of a two-phase relocation,
+    mirroring [finish_trace]'s split.  Phase A (plan): the collector
+    walks survivors in deterministic trace order and records each
+    object's destination location and age with the [plan_push] family —
+    placement decisions (bump-packing, budgets, registry pushes, used
+    accounting) are inherently ordered and stay in the collector.
+    Phase B (move): the kernel applies the recorded writes to the
+    location and age columns, slab-parallel above {!par_move_threshold}
+    when [domains > 1] and the crew is free, sequentially otherwise.
+
+    Determinism contract: slabs are contiguous plan ranges and an object
+    id appears at most once per plan, so workers write disjoint column
+    cells — the heap state after the move is byte-identical at any
+    domain count.  The same slab/prefix-sum scheme packs the CSR edge
+    arena during rebuilds, into a preallocated double-buffered
+    destination. *)
+
+val plan_clear : t -> unit
+(** Drops any pending plan entries (a plan survives only until the next
+    {!finish_relocate}). *)
+
+val plan_length : t -> int
+(** Number of pending plan entries. *)
+
+val plan_push : t -> int -> loc:location -> age:int -> unit
+(** Records one relocation: on {!finish_relocate} the object's location
+    becomes [loc] and its age [age]. *)
+
+val plan_push_old : t -> int -> age:int -> unit
+
+val plan_push_survivor : t -> int -> age:int -> unit
+
+val plan_push_eden : t -> int -> age:int -> unit
+
+val plan_push_region : t -> int -> region:int -> age:int -> unit
+(** Allocation-free variants of {!plan_push} for the hot plan loops. *)
+
+val finish_relocate : t -> domains:int -> int
+(** Applies and clears the pending plan; returns the number of objects
+    relocated. *)
+
+val set_par_move_threshold : int -> unit
+(** Minimum plan length (and minimum slot count for edge-arena rebuilds)
+    before {!finish_relocate} engages the crew.  Tests lower it to
+    exercise the parallel move on small plans. *)
+
+val par_move_threshold : unit -> int
+
+(** {1 Batch sweep kernels}
+
+    Column-direct equivalents of the collectors' per-object free loops.
+    Visit order and free order — hence the free-slot recycling order the
+    goldens depend on — are exactly those of a closure-per-id loop over
+    the same vector. *)
+
+val sweep_young_registry : t -> Gcperf_util.Int_vec.t -> int
+(** Young-collection sweep over a young registry: keeps young+marked ids
+    (in place, order preserved), frees young+unmarked ids, drops ids no
+    longer young (promoted).  Returns the freed byte count. *)
+
+val sweep_dead : t -> Gcperf_util.Int_vec.t -> int
+(** Full-collection sweep: frees every still-allocated unmarked id in the
+    vector, leaving the vector itself untouched.  Returns the freed byte
+    count. *)
 
 (**/**)
 

@@ -40,7 +40,25 @@ type t = {
   cost : cost_model;
   gc_threads : int;
   conc_gc_threads : int;
+  speedup_gc : float;
+  speedup_conc : float;
 }
+
+(* The raw speedup law, shared by [create] (which caches the two worker
+   counts every pause uses) and [parallel_speedup] (the general entry). *)
+let speedup_raw topology (cost : cost_model) n =
+  let n = max 1 n in
+  let sigma = cost.sync_sigma in
+  let base = float_of_int n /. (1.0 +. (sigma *. float_of_int (n - 1))) in
+  let per_node = topology.cores_per_numa_node in
+  if n <= per_node then base
+  else begin
+    (* Workers span NUMA nodes: remote scanning and copying eat into the
+       speedup.  We keep the within-node speedup and discount the excess. *)
+    let local = float_of_int per_node /. (1.0 +. (sigma *. float_of_int (per_node - 1))) in
+    let excess = base -. local in
+    local +. (excess /. cost.numa_remote_factor)
+  end
 
 let create ?gc_threads ?conc_gc_threads topology cost =
   let cores = total_cores topology in
@@ -52,23 +70,25 @@ let create ?gc_threads ?conc_gc_threads topology cost =
   let conc_gc_threads =
     match conc_gc_threads with Some n -> n | None -> max 1 ((gc_threads + 3) / 4)
   in
-  { topology; cost; gc_threads; conc_gc_threads }
+  {
+    topology;
+    cost;
+    gc_threads;
+    conc_gc_threads;
+    speedup_gc = speedup_raw topology cost gc_threads;
+    speedup_conc = speedup_raw topology cost conc_gc_threads;
+  }
 
 let cores t = total_cores t.topology
 
+(* The memo hits on every stop-the-world phase ([gc_threads]) and every
+   concurrent slice ([conc_gc_threads]); other counts fall through to
+   the same formula, so the cached and computed paths agree bit for
+   bit. *)
 let parallel_speedup t n =
-  let n = max 1 n in
-  let sigma = t.cost.sync_sigma in
-  let base = float_of_int n /. (1.0 +. (sigma *. float_of_int (n - 1))) in
-  let per_node = t.topology.cores_per_numa_node in
-  if n <= per_node then base
-  else begin
-    (* Workers span NUMA nodes: remote scanning and copying eat into the
-       speedup.  We keep the within-node speedup and discount the excess. *)
-    let local = float_of_int per_node /. (1.0 +. (sigma *. float_of_int (per_node - 1))) in
-    let excess = base -. local in
-    local +. (excess /. t.cost.numa_remote_factor)
-  end
+  if n = t.gc_threads then t.speedup_gc
+  else if n = t.conc_gc_threads then t.speedup_conc
+  else speedup_raw t.topology t.cost n
 
 let time_to_safepoint t ~mutator_threads =
   t.cost.safepoint_base_us
@@ -77,7 +97,7 @@ let time_to_safepoint t ~mutator_threads =
 let root_scan_us t ~mutator_threads =
   (* Stacks are scanned in parallel by the GC workers. *)
   let work = t.cost.root_scan_us_per_thread *. float_of_int mutator_threads in
-  work /. parallel_speedup t t.gc_threads
+  work /. t.speedup_gc
 
 let phase_us t ~rate ~workers ~bytes =
   assert (rate > 0.0);

@@ -76,6 +76,11 @@ type t = {
   cost : cost_model;
   gc_threads : int;  (** parallel GC worker count (JVM default: ~ cores) *)
   conc_gc_threads : int;  (** concurrent marking threads (CMS/G1) *)
+  speedup_gc : float;
+      (** {!parallel_speedup} at [gc_threads], cached at construction *)
+  speedup_conc : float;
+      (** {!parallel_speedup} at [conc_gc_threads], cached at
+          construction *)
 }
 
 val create : ?gc_threads:int -> ?conc_gc_threads:int -> topology -> cost_model -> t

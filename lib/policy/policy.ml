@@ -1,16 +1,34 @@
 type pause_class = Minor | Major | Concurrent
 
+(* Fields are mutable so the per-pause driver (Gc_ctx) can reuse one
+   scratch record instead of allocating an observation on every
+   collection; [observe] implementations must read the fields during the
+   call (every shipped policy copies what it keeps into its own
+   averages/trajectory immediately). *)
 type observation = {
-  pause_class : pause_class;
-  pause_ms : float;
-  interval_ms : float;
-  promoted_bytes : int;
-  survived_bytes : int;
-  survivor_overflow : bool;
-  young_capacity : int;
-  heap_used : int;
-  heap_capacity : int;
+  mutable pause_class : pause_class;
+  mutable pause_ms : float;
+  mutable interval_ms : float;
+  mutable promoted_bytes : int;
+  mutable survived_bytes : int;
+  mutable survivor_overflow : bool;
+  mutable young_capacity : int;
+  mutable heap_used : int;
+  mutable heap_capacity : int;
 }
+
+let scratch_observation () =
+  {
+    pause_class = Minor;
+    pause_ms = 0.0;
+    interval_ms = 0.0;
+    promoted_bytes = 0;
+    survived_bytes = 0;
+    survivor_overflow = false;
+    young_capacity = 0;
+    heap_used = 0;
+    heap_capacity = 0;
+  }
 
 type decision = {
   young_bytes : int option;

@@ -18,20 +18,32 @@ type pause_class =
   | Major  (** full collections *)
   | Concurrent  (** concurrent-cycle pauses: initial-mark, remark, cleanup *)
 
+(** Fields are mutable so the per-pause driver can reuse one scratch
+    record rather than allocate per collection; [observe] implementations
+    must copy what they keep during the call and never retain the record
+    itself. *)
 type observation = {
-  pause_class : pause_class;
-  pause_ms : float;  (** stop-the-world duration of this collection *)
-  interval_ms : float;
+  mutable pause_class : pause_class;
+  mutable pause_ms : float;
+      (** stop-the-world duration of this collection *)
+  mutable interval_ms : float;
       (** mutator time since the end of the previous pause *)
-  promoted_bytes : int;  (** bytes promoted to the old generation *)
-  survived_bytes : int;  (** young bytes surviving the collection *)
-  survivor_overflow : bool;
+  mutable promoted_bytes : int;
+      (** bytes promoted to the old generation *)
+  mutable survived_bytes : int;
+      (** young bytes surviving the collection *)
+  mutable survivor_overflow : bool;
       (** at least one object was promoted early because the survivor
           space (or budget) could not hold it *)
-  young_capacity : int;  (** current young-generation capacity in bytes *)
-  heap_used : int;  (** heap occupancy after the collection *)
-  heap_capacity : int;  (** total committed heap *)
+  mutable young_capacity : int;
+      (** current young-generation capacity in bytes *)
+  mutable heap_used : int;  (** heap occupancy after the collection *)
+  mutable heap_capacity : int;  (** total committed heap *)
 }
+
+val scratch_observation : unit -> observation
+(** A fresh all-zero observation for drivers that overwrite the fields
+    in place each pause. *)
 
 type decision = {
   young_bytes : int option;  (** new young-generation size *)

@@ -30,6 +30,9 @@ type t = {
   events : Gc_event.t;
   ctx : Gc_ctx.t;
   collector : Collector.t;
+  (* [collector.alloc], hoisted: the allocation fast path loads one field
+     instead of chasing through the collector record. *)
+  alloc_fn : size:int -> int;
   threads : thread Vec.t;
   globals : Int_table.t;
   deaths : (owner * int) Heapq.t;  (* keyed by cumulative allocated bytes *)
@@ -52,6 +55,7 @@ let create ?telemetry machine config ~seed =
       events;
       ctx;
       collector;
+      alloc_fn = collector.Collector.alloc;
       threads = Vec.create ();
       globals = Int_table.create 64;
       deaths = Heapq.create ();
@@ -104,13 +108,22 @@ let threads t =
   Vec.fold (fun acc th -> if th.live then th :: acc else acc) [] t.threads
   |> List.rev
 
-let[@inline] register_death t owner id lifetime =
+(* The [owner] value is built inside the [`Bytes] arm: constructing a
+   [Thread_root] block for a [`Permanent] allocation (the hot case)
+   would cost a heap allocation that the match immediately discards. *)
+let[@inline] register_thread_death t tid id lifetime =
   match lifetime with
   | `Permanent -> ()
-  | `Bytes b -> Heapq.push t.deaths (t.allocated + max 1 b) (owner, id)
+  | `Bytes b ->
+      Heapq.push t.deaths (t.allocated + max 1 b) (Thread_root tid, id)
 
-let alloc t th ~size ~lifetime =
-  let id = t.collector.Collector.alloc ~size in
+let[@inline] register_global_death t id lifetime =
+  match lifetime with
+  | `Permanent -> ()
+  | `Bytes b -> Heapq.push t.deaths (t.allocated + max 1 b) (Global_root, id)
+
+let[@inline] alloc t th ~size ~lifetime =
+  let id = t.alloc_fn ~size in
   t.allocated <- t.allocated + size;
   th.quantum_allocs <- th.quantum_allocs + 1;
   th.quantum_bytes <- th.quantum_bytes + size;
@@ -119,21 +132,21 @@ let alloc t th ~size ~lifetime =
      at the bucket head is where [replace] would have put a new key too,
      so the table's iteration order is unchanged. *)
   Int_table.add th.roots id;
-  register_death t (Thread_root th.tid) id lifetime;
+  register_thread_death t th.tid id lifetime;
   id
 
 let alloc_global t ~size ~lifetime =
   let id = t.collector.Collector.alloc ~size in
   t.allocated <- t.allocated + size;
   Int_table.add t.globals id;
-  register_death t Global_root id lifetime;
+  register_global_death t id lifetime;
   id
 
 let alloc_old_global t ~size ~lifetime =
   let id = t.collector.Collector.alloc_old ~size in
   t.allocated <- t.allocated + size;
   Int_table.add t.globals id;
-  register_death t Global_root id lifetime;
+  register_global_death t id lifetime;
   id
 
 let add_ref t ~parent ~child = t.collector.Collector.write_ref ~parent ~child
@@ -141,7 +154,7 @@ let add_ref t ~parent ~child = t.collector.Collector.write_ref ~parent ~child
 let remove_ref t ~parent ~child =
   t.collector.Collector.remove_ref ~parent ~child
 
-let drop_root _t th id = Int_table.remove th.roots id
+let[@inline] drop_root _t th id = Int_table.remove th.roots id
 
 let drop_global_root t id = Int_table.remove t.globals id
 

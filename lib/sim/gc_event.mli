@@ -32,11 +32,29 @@ type event = {
 }
 
 type t
-(** Mutable event log. *)
+(** Mutable event log.  Struct-of-arrays internally: recording a pause on
+    the collectors' exit path allocates nothing in the host runtime, and
+    the [event] record view is materialised only by the cold accessors. *)
 
 val create : unit -> t
 
-val record : t -> event -> unit
+val record :
+  t ->
+  start_us:float ->
+  duration_us:float ->
+  kind:pause_kind ->
+  collector:string ->
+  reason:string ->
+  young_before:int ->
+  young_after:int ->
+  old_before:int ->
+  old_after:int ->
+  promoted:int ->
+  unit
+(** Appends one pause without boxing an {!event}. *)
+
+val record_event : t -> event -> unit
+(** {!record} from an already-built record (tests, replay). *)
 
 val events : t -> event list
 (** Events in chronological order. *)

@@ -9,6 +9,8 @@ type phase =
   | Compact
   | Region_overhead
   | Fixed
+  | Plan
+  | Move
 
 let phase_to_string = function
   | Safepoint -> "safepoint"
@@ -21,6 +23,8 @@ let phase_to_string = function
   | Compact -> "compact"
   | Region_overhead -> "region-overhead"
   | Fixed -> "fixed"
+  | Plan -> "plan"
+  | Move -> "move"
 
 let all_phases =
   [
@@ -35,6 +39,7 @@ type t = {
   start_us : float;
   duration_us : float;
   phases : (phase * float) list;
+  sub : (phase * float) list;
   young_before : int;
   young_after : int;
   old_before : int;
@@ -74,24 +79,39 @@ let to_json t =
       Buffer.add_string buf
         (Printf.sprintf "\"%s\":%.3f" (phase_to_string p) us))
     t.phases;
+  Buffer.add_char buf '}';
+  if t.sub <> [] then begin
+    Buffer.add_string buf ",\"sub\":{";
+    List.iteri
+      (fun i (p, us) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":%.3f" (phase_to_string p) us))
+      t.sub;
+    Buffer.add_char buf '}'
+  end;
   Buffer.add_string buf
     (Printf.sprintf
-       "},\"young_before\":%d,\"young_after\":%d,\"old_before\":%d,\"old_after\":%d,\"promoted\":%d}"
+       ",\"young_before\":%d,\"young_after\":%d,\"old_before\":%d,\"old_after\":%d,\"promoted\":%d}"
        t.young_before t.young_after t.old_before t.old_after t.promoted);
   Buffer.contents buf
+
+let sub_us t p =
+  List.fold_left (fun acc (q, us) -> if q = p then acc +. us else acc) 0.0 t.sub
 
 let csv_header =
   "collector,kind,cause,start_us,duration_us,"
   ^ String.concat ","
       (List.map (fun p -> phase_to_string p ^ "_us") all_phases)
-  ^ ",young_before,young_after,old_before,old_after,promoted"
+  ^ ",plan_us,move_us,young_before,young_after,old_before,old_after,promoted"
 
 let to_csv_row t =
   let cause =
     if String.contains t.cause ',' then "\"" ^ t.cause ^ "\"" else t.cause
   in
-  Printf.sprintf "%s,%s,%s,%.3f,%.3f,%s,%d,%d,%d,%d,%d" t.collector t.kind
-    cause t.start_us t.duration_us
+  Printf.sprintf "%s,%s,%s,%.3f,%.3f,%s,%.3f,%.3f,%d,%d,%d,%d,%d" t.collector
+    t.kind cause t.start_us t.duration_us
     (String.concat ","
        (List.map (fun p -> Printf.sprintf "%.3f" (phase_us t p)) all_phases))
-    t.young_before t.young_after t.old_before t.old_after t.promoted
+    (sub_us t Plan) (sub_us t Move) t.young_before t.young_after t.old_before
+    t.old_after t.promoted

@@ -19,6 +19,8 @@ type phase =
   | Compact
   | Region_overhead  (** G1 per-region constant work *)
   | Fixed  (** fixed dispatch overhead of any collection *)
+  | Plan  (** relocation planning (sub-phase; see {!t.sub}) *)
+  | Move  (** relocation column/slice moving (sub-phase) *)
 
 val phase_to_string : phase -> string
 
@@ -29,6 +31,11 @@ type t = {
   start_us : float;
   duration_us : float;
   phases : (phase * float) list;  (** phase durations in µs, charge order *)
+  sub : (phase * float) list;
+      (** sub-phase attributions ({!Plan}/{!Move} splits of relocation
+          phases).  Informational only: sub-costs re-slice time already
+          charged to [phases], so they are {e not} part of the
+          [duration_us] = sum-of-phases invariant. *)
   young_before : int;
   young_after : int;
   old_before : int;
@@ -38,6 +45,9 @@ type t = {
 
 val phase_us : t -> phase -> float
 (** Duration charged to one phase; 0 when the span has no such phase. *)
+
+val sub_us : t -> phase -> float
+(** Duration attributed to one sub-phase; 0 when absent. *)
 
 val to_json : t -> string
 (** One-line JSON object (a JSON Lines record). *)

@@ -16,13 +16,24 @@ type bucket = { mutable keys : int array; mutable blen : int }
 type t = {
   mutable buckets : bucket array;
   mutable size : int;
+  (* Derived from [Array.length buckets], maintained on create/resize/
+     reset: the add/remove fast path reads these instead of re-deriving
+     them from the bucket array's header each call. *)
+  mutable mask : int;
+  mutable resize_at : int;
   initial_buckets : int;
-  (* one-entry hash memo: the dominant access pattern is add-then-remove
-     of the same key (root an allocation, drop the root), which would
-     otherwise mix the same word twice *)
-  mutable memo_key : int;
-  mutable memo_hash : int;
+  (* Direct-mapped hash cache: the store recycles object ids through its
+     free list, so a root set sees the same few hundred keys over and
+     over — caching the (expensive, fidelity-mandated) MurmurHash per
+     key turns the add/remove fast path into a mask and two loads.  The
+     cache only memoises hash values, never bindings, so table semantics
+     are untouched.  [cache_keys] starts at [min_int] (never a real
+     key); a key equal to [min_int] just recomputes every time. *)
+  cache_keys : int array;
+  cache_vals : int array;
 }
+
+let cache_size = 256
 
 (* [Hashtbl.hash] on an [int], reimplemented: MurmurHash3 mixing of the
    64-bit word folded to 32 bits, then the final avalanche, masked to 30
@@ -70,9 +81,11 @@ let create n =
   {
     buckets = Array.init nb fresh_bucket;
     size = 0;
+    mask = nb - 1;
+    resize_at = nb lsl 1;
     initial_buckets = nb;
-    memo_key = min_int;
-    memo_hash = 0;
+    cache_keys = Array.make cache_size min_int;
+    cache_vals = Array.make cache_size 0;
   }
 
 let length t = t.size
@@ -87,17 +100,18 @@ let bucket_prepend b k =
   if b.blen = cap then begin
     let nk = Array.make (if cap = 0 then 4 else cap * 2) 0 in
     for i = b.blen downto 1 do
-      nk.(i) <- b.keys.(i - 1)
+      Array.unsafe_set nk i (Array.unsafe_get b.keys (i - 1))
     done;
-    nk.(0) <- k;
+    Array.unsafe_set nk 0 k;
     b.keys <- nk
   end
   else begin
+    (* blen < cap here, so every index below is in bounds. *)
     let keys = b.keys in
     for i = b.blen downto 1 do
-      keys.(i) <- keys.(i - 1)
+      Array.unsafe_set keys i (Array.unsafe_get keys (i - 1))
     done;
-    keys.(0) <- k
+    Array.unsafe_set keys 0 k
   end;
   b.blen <- b.blen + 1
 
@@ -121,6 +135,8 @@ let resize t =
     let nb = Array.init nsize fresh_bucket in
     t.buckets <- nb;
     let mask = nsize - 1 in
+    t.mask <- mask;
+    t.resize_at <- nsize lsl 1;
     Array.iter
       (fun b ->
         for i = 0 to b.blen - 1 do
@@ -131,55 +147,83 @@ let resize t =
   end
 
 let[@inline] memo_hash_int t k =
-  if k = t.memo_key then t.memo_hash
+  let slot = k land (cache_size - 1) in
+  if Array.unsafe_get t.cache_keys slot = k then
+    Array.unsafe_get t.cache_vals slot
   else begin
     let h = hash_int k in
-    t.memo_key <- k;
-    t.memo_hash <- h;
+    Array.unsafe_set t.cache_keys slot k;
+    Array.unsafe_set t.cache_vals slot h;
     h
   end
 
-let[@inline] index t k = memo_hash_int t k land (Array.length t.buckets - 1)
+let[@inline] index t k = memo_hash_int t k land t.mask
+
+(* [index] masks by the bucket count, so the lookup is always in
+   bounds; likewise scans below [blen] stay inside [keys]. *)
+let[@inline] bucket t k = Array.unsafe_get t.buckets (index t k)
 
 let add t k =
-  bucket_prepend t.buckets.(index t k) k;
+  bucket_prepend (bucket t k) k;
   t.size <- t.size + 1;
-  if t.size > Array.length t.buckets lsl 1 then resize t
+  if t.size > t.resize_at then resize t
+
+(* Top-level, fully-applied scan: a local [let rec] capturing the bucket
+   would allocate its closure on every call. *)
+let rec scan_from keys blen k i =
+  if i >= blen then -1
+  else if Array.unsafe_get keys i = k then i
+  else scan_from keys blen k (i + 1)
 
 let mem t k =
-  let b = t.buckets.(index t k) in
-  let rec scan i = i < b.blen && (b.keys.(i) = k || scan (i + 1)) in
-  scan 0
+  let b = bucket t k in
+  scan_from b.keys b.blen k 0 >= 0
 
 (* [Hashtbl.replace] of a present key rewrites its data cell in place —
    for a set that is a no-op — and otherwise inserts like [add]. *)
 let replace t k = if not (mem t k) then add t k
 
+(* Head hit first, scan second: removal of the most recent insertion —
+   the allocate/drop-root churn pattern — finds its key at the chain
+   head, where [add]'s prepend put it. *)
 let remove t k =
-  let b = t.buckets.(index t k) in
-  let rec find i =
-    if i >= b.blen then -1 else if b.keys.(i) = k then i else find (i + 1)
+  let b = bucket t k in
+  let keys = b.keys and blen = b.blen in
+  let i =
+    if blen > 0 && Array.unsafe_get keys 0 = k then 0
+    else scan_from keys blen k 1
   in
-  let i = find 0 in
   if i >= 0 then begin
-    let keys = b.keys in
-    for j = i to b.blen - 2 do
-      keys.(j) <- keys.(j + 1)
+    let last = blen - 1 in
+    for j = i to last - 1 do
+      Array.unsafe_set keys j (Array.unsafe_get keys (j + 1))
     done;
-    b.blen <- b.blen - 1;
+    b.blen <- last;
     t.size <- t.size - 1
   end
 
+(* Direct nested loop, no [Array.iter]: root-set iteration seeds every
+   trace, and the per-bucket closure invocation dominates on mostly-empty
+   tables.  The size guard skips the bucket walk entirely for empty
+   tables (a fresh table still has its initial buckets to scan). *)
 let iter f t =
-  Array.iter
-    (fun b ->
+  if t.size > 0 then begin
+    let bs = t.buckets in
+    for bi = 0 to Array.length bs - 1 do
+      let b = Array.unsafe_get bs bi in
+      let keys = b.keys in
       for i = 0 to b.blen - 1 do
-        f b.keys.(i)
-      done)
-    t.buckets
+        f (Array.unsafe_get keys i)
+      done
+    done
+  end
 
 let reset t =
   t.size <- 0;
   if Array.length t.buckets = t.initial_buckets then
     Array.iter (fun b -> b.blen <- 0) t.buckets
-  else t.buckets <- Array.init t.initial_buckets fresh_bucket
+  else begin
+    t.buckets <- Array.init t.initial_buckets fresh_bucket;
+    t.mask <- t.initial_buckets - 1;
+    t.resize_at <- t.initial_buckets lsl 1
+  end

@@ -34,7 +34,8 @@ let[@inline never] grow v =
 
 let[@inline] push v x =
   if v.len = Array.length v.data then grow v;
-  v.data.(v.len) <- x;
+  (* len < capacity after the growth check *)
+  Array.unsafe_set v.data v.len x;
   v.len <- v.len + 1
 
 let[@inline] pop v =
@@ -43,6 +44,18 @@ let[@inline] pop v =
   v.data.(v.len)
 
 let[@inline] clear v = v.len <- 0
+
+(* Raw access for batch kernels (Obj_store sweeps) that manage their own
+   bounds; indices must be < [length]. *)
+let[@inline] unsafe_get v i = Array.unsafe_get v.data i
+let[@inline] unsafe_set v i x = Array.unsafe_set v.data i x
+
+(* Unchecked pop for hot paths that already tested [is_empty]. *)
+let[@inline] unsafe_pop v =
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let[@inline] truncate v n = if n >= 0 && n <= v.len then v.len <- n
 
 let swap_remove v i =
   check v i;

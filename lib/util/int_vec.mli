@@ -22,8 +22,20 @@ val push : t -> int -> unit
 val pop : t -> int
 (** Removes and returns the last element; raises on empty. *)
 
+val unsafe_pop : t -> int
+(** [pop] without the emptiness check; the caller must have already
+    established the vector is non-empty. *)
+
 val clear : t -> unit
 (** Truncates to length 0 without shrinking the backing store. *)
+
+val unsafe_get : t -> int -> int
+(** No bounds check; for batch kernels that manage their own indices. *)
+
+val unsafe_set : t -> int -> int -> unit
+
+val truncate : t -> int -> unit
+(** Shrinks to length [n] (no-op unless [0 <= n <= length]). *)
 
 val swap_remove : t -> int -> int
 (** O(1) unordered removal: moves the last element into the hole. *)

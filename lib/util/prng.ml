@@ -29,8 +29,10 @@ let of_state state =
 
 let create seed = of_state (Int64.of_int seed)
 
-(* SplitMix64 output function: add the golden gamma, then xor-shift mix. *)
-let bits64 t =
+(* SplitMix64 output function: add the golden gamma, then xor-shift mix.
+   Inlined so hot callers keep the int64 intermediates in registers
+   instead of boxing them between calls. *)
+let[@inline] bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   let z = t.state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
@@ -42,7 +44,7 @@ let split t = of_state (bits64 t)
 let copy t = of_state t.state
 
 (* Keep 62 bits so the value is non-negative in OCaml's 63-bit int. *)
-let nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+let[@inline] nonneg t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
 let int t n =
   assert (n > 0);
@@ -53,12 +55,12 @@ let int_in t lo hi =
   assert (lo <= hi);
   lo + int t (hi - lo + 1)
 
-let unit_float t =
+let[@inline] unit_float t =
   (* 53 random bits into [0,1). *)
   let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
   float_of_int x *. 0x1.0p-53
 
-let float t x = unit_float t *. x
+let[@inline] float t x = unit_float t *. x
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 

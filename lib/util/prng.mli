@@ -28,6 +28,11 @@ val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
     Requires [lo <= hi]. *)
 
+val unit_float : t -> float
+(** [unit_float t] is uniform in [\[0, 1)], 53 bits of precision.
+    Consumes one 64-bit draw; [float t 1.0] is the same value from the
+    same stream position. *)
+
 val float : t -> float -> float
 (** [float t x] is uniform in [\[0, x)]. *)
 

@@ -115,6 +115,7 @@ let span sess ~at_s ~dur_ms ~kind ~cause =
         start_us = at_s *. 1e6;
         duration_us = dur_ms *. 1e3;
         phases = [];
+        sub = [];
         young_before = 0;
         young_after = 0;
         old_before = 0;

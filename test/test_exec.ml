@@ -103,6 +103,45 @@ let test_artifact_identity_trace_jobs () =
             [ 2; 4 ])
         [ "table2"; "fig3" ])
 
+(* The full determinism matrix: cell fan-out (--jobs) crossed with the
+   intra-collection kernels (--gc-jobs, which parallelises both the
+   trace and the plan/move relocation).  Both engagement thresholds are
+   lowered so ci-scope heaps actually exercise the crews, and every
+   ci-scope artifact must come back byte-identical to the sequential
+   render at each of the nine combinations. *)
+let test_artifact_identity_matrix () =
+  let module Store = Gcperf_heap.Obj_store in
+  let scope = Gcperf.Scope.ci in
+  let render name jobs =
+    match E.artifact ~scope ~jobs name with
+    | Some a -> Gcperf.Artifact.render a `Json
+    | None -> Alcotest.fail ("unknown artifact " ^ name)
+  in
+  let saved_domains = Store.default_gc_domains () in
+  let saved_trace = Store.par_trace_threshold () in
+  let saved_move = Store.par_move_threshold () in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_default_gc_domains saved_domains;
+      Store.set_par_trace_threshold saved_trace;
+      Store.set_par_move_threshold saved_move)
+    (fun () ->
+      List.iter
+        (fun name ->
+          Store.set_default_gc_domains 1;
+          let sequential = render name 1 in
+          Store.set_par_trace_threshold 16;
+          Store.set_par_move_threshold 16;
+          List.iter
+            (fun (jobs, gc_jobs) ->
+              Store.set_default_gc_domains gc_jobs;
+              Alcotest.(check string)
+                (Printf.sprintf "%s byte-identical at jobs=%d gc-jobs=%d"
+                   name jobs gc_jobs)
+                sequential (render name jobs))
+            [ (1, 2); (1, 4); (2, 1); (2, 2); (2, 4); (4, 1); (4, 2); (4, 4) ])
+        [ "table2"; "table3"; "fig3"; "faults"; "cluster" ])
+
 (* --- crew ----------------------------------------------------------- *)
 
 let test_crew_basics () =
@@ -135,6 +174,7 @@ let span ~kind ~duration_us =
     start_us = 0.0;
     duration_us;
     phases = [ (Span.Safepoint, 100.0); (Span.Copy, duration_us -. 100.0) ];
+    sub = [];
     young_before = 64;
     young_after = 4;
     old_before = 16;
@@ -185,6 +225,8 @@ let () =
             test_artifact_identity;
           Alcotest.test_case "artifact identity trace-jobs=1/2/4" `Slow
             test_artifact_identity_trace_jobs;
+          Alcotest.test_case "artifact identity jobs x gc-jobs matrix" `Slow
+            test_artifact_identity_matrix;
           Alcotest.test_case "crew basics" `Quick test_crew_basics;
           Alcotest.test_case "telemetry merge" `Quick
             test_merge_matches_sequential;

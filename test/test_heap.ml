@@ -255,6 +255,56 @@ let prop_parallel_trace =
               par = seq)
             preds))
 
+(* --- parallel relocation determinism --------------------------------- *)
+
+(* The plan/move relocation kernel must land every object at exactly the
+   placement the sequential apply produces — the plan already fixed the
+   destinations, so the crew only changes who writes the columns.  Two
+   stores built from one seed are identical; plan the same seeded
+   relocation on both and diff every live object's location and age. *)
+let prop_parallel_relocate =
+  QCheck.Test.make ~count:60
+    ~name:"parallel relocation matches the sequential placement exactly"
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 4))
+    (fun (seed0, domains) ->
+      let plan_moves s =
+        let state = ref ((seed0 * 31) land 0x3FFFFFFF) in
+        let rand n =
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod n
+        in
+        Os.plan_clear s;
+        Os.iter_live s (fun id ->
+            match rand 6 with
+            | 0 -> Os.plan_push_old s id ~age:(Os.age s id)
+            | 1 -> Os.plan_push_survivor s id ~age:(Os.age s id + 1)
+            | 2 -> Os.plan_push_eden s id ~age:0
+            | 3 -> Os.plan_push_region s id ~region:(rand 8) ~age:(rand 16)
+            | _ -> ())
+      in
+      let snapshot s =
+        let acc = ref [] in
+        Os.iter_live s (fun id ->
+            acc := (id, Os.loc_code s id, Os.region_index s id, Os.age s id)
+                   :: !acc);
+        !acc
+      in
+      let saved = Os.par_move_threshold () in
+      Fun.protect
+        ~finally:(fun () -> Os.set_par_move_threshold saved)
+        (fun () ->
+          let s_par, _ = build_trace_graph seed0 in
+          let s_seq, _ = build_trace_graph seed0 in
+          plan_moves s_par;
+          plan_moves s_seq;
+          let planned = Os.plan_length s_par in
+          Os.set_par_move_threshold 1;
+          let moved_par = Os.finish_relocate s_par ~domains in
+          Os.set_par_move_threshold max_int;
+          let moved_seq = Os.finish_relocate s_seq ~domains:1 in
+          moved_par = planned && moved_seq = planned
+          && snapshot s_par = snapshot s_seq))
+
 (* --- Gen_heap ------------------------------------------------------- *)
 
 let make_gen () =
@@ -489,6 +539,7 @@ let () =
           Alcotest.test_case "live ids" `Quick test_store_live_ids;
           QCheck_alcotest.to_alcotest prop_store_model;
           QCheck_alcotest.to_alcotest prop_parallel_trace;
+          QCheck_alcotest.to_alcotest prop_parallel_relocate;
         ] );
       ( "gen_heap",
         [
