@@ -17,9 +17,8 @@
 
    Options:
 
-   - [--only micro,policy,exec,fault,cluster,paper,server] restricts the
-     groups
-     that run;
+   - [--only micro,policy,exec,fault,cluster,concurrent,paper,server]
+     restricts the groups that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
      object: [jobs] and [recommended_domain_count] metadata plus a
@@ -454,6 +453,61 @@ let cluster_tests =
            ignore (Coordinator.run config ~ring ~nodes ~seed:9)));
   ]
 
+(* --- concurrent collector family --------------------------------------- *)
+
+(* Journal fold over 100k pre-built entries against 50k rc cells.  Same
+   naming caveat as par-trace: the jobs count is in the name because on
+   a single-core host jobs4 measures the crew hand-off plus domain
+   time-sharing, not a speedup — each entry gates only against its own
+   baseline. *)
+let journal_fold_test ~domains =
+  let module Journal = Gcperf_gc_concurrent.Journal in
+  let j = Journal.create () in
+  let cells = 50_000 in
+  let state = ref 17 in
+  let rand m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  for _ = 1 to 100_000 do
+    Journal.append j (rand cells) (if rand 2 = 0 then 1 else -1)
+  done;
+  let rc = Array.make cells 0 in
+  Test.make
+    ~name:(Printf.sprintf "journal-fold-jobs%d" domains)
+    (Staged.stage (fun () -> ignore (Journal.fold j ~rc ~domains)))
+
+let concurrent_tests =
+  [
+    Test.make ~name:"mark-overhead"
+      (* Allocation churn under the concurrent region collector: the
+         SATB/load-barrier mutator tax plus the tick-driven concurrent
+         mark and relocation machinery, end to end. *)
+      (let vm, th = vm_for Gc_config.Concurrent_regions in
+       Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             let id = Vm.alloc vm th ~size:4096 ~lifetime:`Permanent in
+             Vm.drop_root vm th id
+           done));
+    Test.make ~name:"load-barrier-read"
+      (* The self-healing load barrier: 10k reads over a store where a
+         tenth of the objects are forwarded — the first read of each
+         forwarded object takes the healing slow path, every other read
+         the epoch-stamped fast path. *)
+      (let module Os = Gcperf_heap.Obj_store in
+       let s = Os.create () in
+       let n = 10_000 in
+       let ids = Array.init n (fun _ -> Os.alloc s ~size:64 ~loc:Os.Old) in
+       Staged.stage (fun () ->
+           Os.fwd_begin s;
+           Array.iteri
+             (fun i id -> if i mod 10 = 0 then Os.fwd_record s id)
+             ids;
+           Array.iter (fun id -> ignore (Os.fwd_read s id)) ids));
+    journal_fold_test ~domains:1;
+    journal_fold_test ~domains:4;
+  ]
+
 (* --- driver ------------------------------------------------------------ *)
 
 let benchmark tests ~quota_s ~limit =
@@ -524,7 +578,8 @@ type opts = {
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--only micro,policy,exec,fault,cluster,paper,server] \
+    "usage: main.exe \
+     [--only micro,policy,exec,fault,cluster,concurrent,paper,server] \
      [--quota SECONDS] [--limit RUNS] [--json PATH]";
   exit 2
 
@@ -583,6 +638,8 @@ let () =
     ~quota_s:0.5 ~lim:50;
   run_group "cluster" "cluster (ring placement, fan-out coordinator)"
     cluster_tests ~quota_s:0.5 ~lim:50;
+  run_group "concurrent" "concurrent family (barriers, journal fold)"
+    concurrent_tests ~quota_s:0.5 ~lim:200;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
     ~lim:2;
   run_group "server" "client-server campaigns (scaled)" server_tests

@@ -191,7 +191,9 @@ let trace_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"COLLECTOR"
           ~doc:
-            "Collector: serial, parnew, parallel, parallelold, cms, g1; a \
+            "Collector: serial, parnew, parallel, parallelold, cms, g1, \
+             concurrent-regions (alias zgc, shenandoah) or journal-rc \
+             (alias mo-gc); a \
              comma-separated list, or $(b,all).  With several collectors \
              the traced runs fan out over the worker pool, each section \
              is printed in collector order, and a merged percentile \
@@ -313,8 +315,21 @@ let bench_cmd =
       & info [] ~docv:"BENCHMARK" ~doc:"DaCapo-like benchmark name.")
   in
   let gc_arg =
-    let doc = "Collector: serial, parnew, parallel, parallelold, cms, g1." in
+    let doc =
+      "Collector: serial, parnew, parallel, parallelold, cms, g1, \
+       concurrent-regions (alias zgc, shenandoah) or journal-rc (alias \
+       mo-gc)."
+    in
     Arg.(value & opt string "parallelold" & info [ "gc" ] ~doc)
+  in
+  let fold_jobs_arg =
+    let doc =
+      "Simulated journal-fold workers for the journal-rc collector \
+       (mo-gc's fold is single-threaded; higher values relieve its \
+       backpressure).  Scales the simulated fold rate only — results \
+       stay byte-identical across $(b,--gc-jobs)."
+    in
+    Arg.(value & opt int 1 & info [ "journal-fold-jobs" ] ~docv:"N" ~doc)
   in
   let heap_arg =
     let doc = "Heap size in megabytes (minimum = maximum, as in the study)." in
@@ -375,7 +390,7 @@ let bench_cmd =
              (naive client, unbounded server queue).")
   in
   let run bench gc heap young iterations system_gc no_tlab adaptive pause_goal
-      verbose faults no_resilience =
+      fold_jobs verbose faults no_resilience =
     let kind = resolve_collector gc in
     let b = resolve_bench bench in
     (* Resolve up front so a typo dies before the benchmark runs. *)
@@ -390,6 +405,7 @@ let bench_cmd =
             Gcperf_gc.Gc_config.tlab = not no_tlab;
             adaptive;
             pause_goal_ms = pause_goal;
+            journal_fold_jobs = fold_jobs;
           })
     in
     let machine = Gcperf_machine.Machine.paper_server () in
@@ -476,7 +492,7 @@ let bench_cmd =
     Term.(
       const run $ bench_arg $ gc_arg $ heap_arg $ young_arg $ iterations_arg
       $ sysgc_arg $ tlab_off_arg $ adaptive_arg $ pause_goal_arg
-      $ verbose_arg $ faults_arg $ no_resilience_arg)
+      $ fold_jobs_arg $ verbose_arg $ faults_arg $ no_resilience_arg)
 
 (* --- tune ---------------------------------------------------------- *)
 
@@ -492,7 +508,9 @@ let tune_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"COLLECTOR"
-          ~doc:"Collector: serial, parnew, parallel, parallelold, cms, g1.")
+          ~doc:
+            "Collector: serial, parnew, parallel, parallelold, cms, g1, \
+             concurrent-regions or journal-rc.")
   in
   let bench_arg =
     let doc = "DaCapo-like benchmark to tune against." in

@@ -64,9 +64,8 @@ let summarise vm ~gc ~config_name ~oom =
     oom;
   }
 
-let run_server_scope ~scope ~kind ~stress ~hours () =
+let run_server_config ~scope ~label ~config:gc ~stress ~hours () =
   let machine = Exp_common.machine () in
-  let gc = server_gc kind in
   let vm = Vm.create machine gc ~seed:Exp_common.seed in
   let config =
     if stress then Server.stress_config ~heap_bytes:gc.Gc_config.heap_bytes
@@ -92,12 +91,16 @@ let run_server_scope ~scope ~kind ~stress ~hours () =
          ~ops_per_s:load_ops_per_s ~read_frac:0.0 ~insert_frac:1.0
    with Gcperf_gc.Gc_ctx.Out_of_memory _ -> oom := true);
   let run =
-    summarise vm
-      ~gc:(Gc_config.kind_to_string kind)
+    summarise vm ~gc:label
       ~config_name:(if stress then "stress" else "default")
       ~oom:!oom
   in
   { run with db_timeline = Server.db_size_timeline server }
+
+let run_server_scope ~scope ~kind ~stress ~hours () =
+  run_server_config ~scope
+    ~label:(Gc_config.kind_to_string kind)
+    ~config:(server_gc kind) ~stress ~hours ()
 
 let run_server ?(quick = false) ~kind ~stress ~hours () =
   run_server_scope ~scope:(Scope.of_quick quick) ~kind ~stress ~hours ()

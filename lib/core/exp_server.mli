@@ -27,6 +27,18 @@ type server_run = {
   oom : bool;
 }
 
+val run_server_config :
+  scope:Scope.t ->
+  label:string ->
+  config:Gcperf_gc.Gc_config.t ->
+  stress:bool ->
+  hours:float ->
+  unit ->
+  server_run
+(** Like {!run_server_scope} but with an explicit GC configuration and
+    display label — the pauseless experiment sweeps heap sizes and
+    journal-fold-jobs variants of the same collector kind. *)
+
 val run_server_scope :
   scope:Scope.t ->
   kind:Gcperf_gc.Gc_config.kind ->

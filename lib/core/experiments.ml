@@ -548,6 +548,50 @@ let cluster_artifact ~scope ?jobs () =
          r.Exp_cluster.cells)
     ~render_text:(fun () -> Exp_cluster.render r)
 
+let pauseless_artifact ~scope ?jobs () =
+  let r = Exp_pauseless.run_scope ~scope ?jobs () in
+  A.make ~name:"pauseless"
+    ~title:"Pauseless family: concurrent regions and journaled RC"
+    ~params:(scope_params scope)
+    ~columns:
+      [
+        "gc";
+        "heap_gb";
+        "fold_jobs";
+        "duration_s";
+        "pauses";
+        "max_pause_s";
+        "full_count";
+        "goodput_ops_s";
+        "p50_ms";
+        "p99_ms";
+        "p999_ms";
+        "oom";
+      ]
+    ~rows:
+      (List.map
+         (fun (c : Exp_pauseless.cell) ->
+           let s = c.Exp_pauseless.server in
+           let m = c.Exp_pauseless.summary in
+           let module R = Gcperf_ycsb.Resilient in
+           A.
+             [
+               Text c.Exp_pauseless.gc;
+               Int c.heap_gb;
+               Int c.fold_jobs;
+               Float s.Exp_server.duration_s;
+               Int (Array.length s.Exp_server.pauses);
+               Float s.Exp_server.max_pause_s;
+               Int s.Exp_server.full_count;
+               Float m.R.goodput_ops_s;
+               Float m.R.p50_ms;
+               Float m.R.p99_ms;
+               Float m.R.p999_ms;
+               Bool s.Exp_server.oom;
+             ])
+         r.Exp_pauseless.cells)
+    ~render_text:(fun () -> Exp_pauseless.render r)
+
 (* ------------------------------------------------------------------ *)
 (* Registration: the single place the experiment catalogue is written
    down.  Runs at module-load time; every public entry point below
@@ -591,7 +635,9 @@ let () =
   single "faults"
     "Fault injection: resilience under GC pauses and network faults"
     faults_artifact;
-  single "cluster" "Cluster ring: tail at scale" cluster_artifact
+  single "cluster" "Cluster ring: tail at scale" cluster_artifact;
+  single "pauseless" "Pauseless family: concurrent regions and journaled RC"
+    pauseless_artifact
 
 (* ------------------------------------------------------------------ *)
 (* Facade over the registry.                                          *)

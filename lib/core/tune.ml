@@ -103,6 +103,10 @@ let collector_flag = function
   | Gc_config.ParallelOld -> "-XX:+UseParallelOldGC"
   | Gc_config.Cms -> "-XX:+UseConcMarkSweepGC"
   | Gc_config.G1 -> "-XX:+UseG1GC"
+  (* No JDK8 flag exists for the pauseless family; emit the spelling our
+     own CLI accepts so the line stays pasteable into gcperf. *)
+  | Gc_config.Concurrent_regions -> "-XX:+UseConcurrentRegionsGC"
+  | Gc_config.Journal_rc -> "-XX:+UseJournalRCGC"
 
 let size_flag prefix bytes =
   let mb = Gc_config.mb 1 in

@@ -1,6 +1,21 @@
-type kind = Serial | ParNew | Parallel | ParallelOld | Cms | G1
+type kind =
+  | Serial
+  | ParNew
+  | Parallel
+  | ParallelOld
+  | Cms
+  | G1
+  | Concurrent_regions
+  | Journal_rc
 
+(* The paper's six JDK8 collectors, in Table 1 order.  The pauseless
+   family deliberately stays out of this list: every existing grid
+   (fig3, table4, ...) iterates [all_kinds] and its goldens are frozen. *)
 let all_kinds = [ Serial; ParNew; Parallel; ParallelOld; Cms; G1 ]
+
+let concurrent_kinds = [ Concurrent_regions; Journal_rc ]
+
+let extended_kinds = all_kinds @ concurrent_kinds
 
 let kind_to_string = function
   | Serial -> "SerialGC"
@@ -9,6 +24,8 @@ let kind_to_string = function
   | ParallelOld -> "ParallelOldGC"
   | Cms -> "ConcMarkSweepGC"
   | G1 -> "G1GC"
+  | Concurrent_regions -> "ConcurrentRegionsGC"
+  | Journal_rc -> "JournalRCGC"
 
 let kind_of_string s =
   match String.lowercase_ascii s with
@@ -19,11 +36,29 @@ let kind_of_string s =
   | "cms" | "concmarksweep" | "concmarksweepgc" | "concurrentmarksweep" ->
       Some Cms
   | "g1" | "g1gc" -> Some G1
+  | "concurrent-regions" | "concurrentregions" | "concurrentregionsgc"
+  | "zgc" | "shenandoah" ->
+      Some Concurrent_regions
+  | "journal-rc" | "journalrc" | "journalrcgc" | "mo-gc" | "mogc" | "rc" ->
+      Some Journal_rc
   | _ -> None
 
 let kind_names =
-  List.map kind_to_string all_kinds
-  @ [ "serial"; "parnew"; "parallel"; "parallelold"; "cms"; "g1" ]
+  List.map kind_to_string extended_kinds
+  @ [
+      "serial";
+      "parnew";
+      "parallel";
+      "parallelold";
+      "cms";
+      "g1";
+      "concurrent-regions";
+      "zgc";
+      "shenandoah";
+      "journal-rc";
+      "mo-gc";
+      "rc";
+    ]
 
 type t = {
   kind : kind;
@@ -41,6 +76,8 @@ type t = {
   adaptive : bool;
   pause_goal_ms : float;
   gc_time_ratio : int;
+  journal_alloc_overhead : float;
+  journal_fold_jobs : int;
 }
 
 let kb = 1024
@@ -66,6 +103,8 @@ let default kind ~heap_bytes ~young_bytes =
     adaptive = false;
     pause_goal_ms = 200.0;
     gc_time_ratio = 99;
+    journal_alloc_overhead = 0.25;
+    journal_fold_jobs = 1;
   }
 
 (* The study's baseline: ParallelOld defaults on the 64 GB machine —
@@ -135,6 +174,17 @@ let validate t =
     Error
       (Printf.sprintf "GC time ratio (-XX:GCTimeRatio) must be >= 1, got %d"
          t.gc_time_ratio)
+  else if t.journal_alloc_overhead < 0.0 || t.journal_alloc_overhead >= 1.0
+  then
+    Error
+      (Printf.sprintf
+         "journal allocation overhead must be a fraction in [0, 1), got %g"
+         t.journal_alloc_overhead)
+  else if t.journal_fold_jobs < 1 then
+    Error
+      (Printf.sprintf
+         "journal fold jobs (--journal-fold-jobs) must be >= 1, got %d"
+         t.journal_fold_jobs)
   else Ok t
 
 let pp ppf t =

@@ -5,17 +5,42 @@
     collector-specific tunables that matter for the study (CMS initiating
     occupancy, G1 pause target and IHOP). *)
 
-type kind = Serial | ParNew | Parallel | ParallelOld | Cms | G1
+type kind =
+  | Serial
+  | ParNew
+  | Parallel
+  | ParallelOld
+  | Cms
+  | G1
+  | Concurrent_regions
+      (** ZGC/Shenandoah-style region collector: concurrent mark with an
+          SATB write-barrier tax, concurrent relocation behind
+          self-healing load barriers, sub-ms flip safepoints *)
+  | Journal_rc
+      (** mo-gc-style journaled reference counting: mutators append RC
+          deltas to journals, a concurrent thread folds them into the
+          object map *)
 
 val all_kinds : kind list
-(** In the paper's Table 1 order. *)
+(** The paper's six JDK8 collectors, in Table 1 order.  The pauseless
+    family is deliberately excluded so the frozen six-collector grids
+    (and their goldens) are unchanged; use {!extended_kinds} to iterate
+    everything. *)
+
+val concurrent_kinds : kind list
+(** The pauseless family: [Concurrent_regions; Journal_rc]. *)
+
+val extended_kinds : kind list
+(** [all_kinds @ concurrent_kinds]. *)
 
 val kind_to_string : kind -> string
-(** JVM-style names: "SerialGC", "ParNewGC", ..., "G1GC". *)
+(** JVM-style names: "SerialGC", "ParNewGC", ..., "G1GC",
+    "ConcurrentRegionsGC", "JournalRCGC". *)
 
 val kind_of_string : string -> kind option
 (** Accepts both JVM-style ("ConcMarkSweepGC") and short ("cms") names,
-    case-insensitively. *)
+    case-insensitively, plus pauseless aliases ("zgc", "shenandoah" for
+    the region collector; "mo-gc", "rc" for journaled RC). *)
 
 val kind_names : string list
 (** Every spelling {!kind_of_string}'s canonical forms accept (JVM-style
@@ -48,6 +73,17 @@ type t = {
   gc_time_ratio : int;
       (** [-XX:GCTimeRatio]: the throughput goal tolerates a GC cost of
           [1 / (1 + ratio)] *)
+  journal_alloc_overhead : float;
+      (** Journal_rc only: fractional mutator slowdown for journaling RC
+          entries at allocation/store sites.  Default 0.25 — the ~25%
+          allocation overhead mo-gc measured. *)
+  journal_fold_jobs : int;
+      (** Journal_rc only: simulated worker count for the concurrent
+          journal fold ([--journal-fold-jobs]).  1 reproduces mo-gc's
+          single-threaded map-insertion bottleneck; higher values relieve
+          it via the machine's parallel speedup curve.  This knob scales
+          simulated fold {e time} only — the fold {e result} is
+          byte-identical at any value (and at any host [--gc-jobs]). *)
 }
 
 val default : kind -> heap_bytes:int -> young_bytes:int -> t

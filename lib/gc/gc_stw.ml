@@ -34,7 +34,8 @@ let plan_of (ctx : Gc_ctx.t) (kind : Gc_config.kind) =
         full_workers = m.Machine.gc_threads;
         promote_rate = cost.Machine.promote_rate;
       }
-  | Gc_config.Cms | Gc_config.G1 ->
+  | Gc_config.Cms | Gc_config.G1 | Gc_config.Concurrent_regions
+  | Gc_config.Journal_rc ->
       invalid_arg "Gc_stw.create: not a stop-the-world collector"
 
 let create ctx (config : Gc_config.t) =

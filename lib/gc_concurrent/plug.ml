@@ -1,0 +1,15 @@
+(* Registers the concurrent collector family with [Registry] so the
+   shared [Registry.create] dispatch can build them.  The runtime calls
+   [install] at module initialisation; calling it again is a no-op
+   (registration is keyed replacement). *)
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Gcperf_gc.Registry.register_builder Gcperf_gc.Gc_config.Concurrent_regions
+      Gc_regions.create;
+    Gcperf_gc.Registry.register_builder Gcperf_gc.Gc_config.Journal_rc
+      Gc_journal_rc.create
+  end

@@ -88,6 +88,17 @@ type t = {
      offset into the destination arena, computed by the sequential
      prefix-sum over slab sizes). *)
   mutable slab_base : int array;
+  (* Forwarding table for pauseless concurrent relocation: epoch-stamped
+     per-slot entries, so opening a new relocation phase is O(1) and no
+     clearing pass ever runs.  [fwd_stampv.(id) = fwd_epoch] means the
+     object moved this phase; [fwd_healv.(id) = fwd_epoch] means some
+     reader already remapped (healed) it. *)
+  mutable fwd_stampv : int array;
+  mutable fwd_healv : int array;
+  fwd_ids : Ivec.t;  (* ids recorded this phase, record order *)
+  mutable fwd_epoch : int;
+  mutable fwd_pending : int;  (* recorded, not yet healed *)
+  mutable fwd_hits : int;  (* load-barrier slow paths taken this phase *)
 }
 
 let create () =
@@ -120,6 +131,12 @@ let create () =
     plan_n = 0;
     edges_spare = [||];
     slab_base = [||];
+    fwd_stampv = [||];
+    fwd_healv = [||];
+    fwd_ids = Ivec.create ();
+    fwd_epoch = 0;
+    fwd_pending = 0;
+    fwd_hits = 0;
   }
 
 let[@inline] is_young_loc = function
@@ -834,6 +851,74 @@ let sweep_dead t v =
     end
   done;
   !freed
+
+(* --- forwarding table (pauseless concurrent relocation) ----------------
+
+   The concurrent region collector moves objects while mutators run; a
+   moved object gets a forwarding entry, and every mutator reference
+   load runs a load barrier: forwarded and not yet healed means the
+   reader takes the slow path once, remaps the referencing slot
+   (self-healing) and never pays again for that object.  The remap flip
+   heals whatever the mutators did not touch.  Entries are epoch stamps:
+   [fwd_begin] invalidates the whole table in O(1). *)
+
+let[@inline never] grow_fwd t =
+  let cap = max 64 (Array.length t.sizev) in
+  let ext col =
+    let nd = Array.make cap 0 in
+    Array.blit col 0 nd 0 (Array.length col);
+    nd
+  in
+  t.fwd_stampv <- ext t.fwd_stampv;
+  t.fwd_healv <- ext t.fwd_healv
+
+let fwd_begin t =
+  if Array.length t.fwd_stampv < t.slot_count then grow_fwd t;
+  t.fwd_epoch <- t.fwd_epoch + 1;
+  Ivec.clear t.fwd_ids;
+  t.fwd_pending <- 0;
+  t.fwd_hits <- 0
+
+let fwd_record t id =
+  check t id;
+  if Array.length t.fwd_stampv <= id then grow_fwd t;
+  if t.fwd_stampv.(id) <> t.fwd_epoch then begin
+    t.fwd_stampv.(id) <- t.fwd_epoch;
+    Ivec.push t.fwd_ids id;
+    t.fwd_pending <- t.fwd_pending + 1
+  end
+
+let[@inline] fwd_is_forwarded t id =
+  id >= 0
+  && id < Array.length t.fwd_stampv
+  && Array.unsafe_get t.fwd_stampv id = t.fwd_epoch
+  && Array.unsafe_get t.fwd_healv id <> t.fwd_epoch
+
+let fwd_read t id =
+  if fwd_is_forwarded t id then begin
+    t.fwd_healv.(id) <- t.fwd_epoch;
+    t.fwd_pending <- t.fwd_pending - 1;
+    t.fwd_hits <- t.fwd_hits + 1;
+    true
+  end
+  else false
+
+let fwd_pending t = t.fwd_pending
+let fwd_hits t = t.fwd_hits
+let fwd_count t = Ivec.length t.fwd_ids
+
+let fwd_heal_all t =
+  let healed = ref 0 in
+  Ivec.iter
+    (fun id ->
+      if t.fwd_healv.(id) <> t.fwd_epoch then begin
+        t.fwd_healv.(id) <- t.fwd_epoch;
+        incr healed
+      end)
+    t.fwd_ids;
+  t.fwd_pending <- 0;
+  Ivec.clear t.fwd_ids;
+  !healed
 
 (* Debug/bench introspection. *)
 let edges_capacity t = Array.length t.edges

@@ -287,6 +287,41 @@ val sweep_dead : t -> Gcperf_util.Int_vec.t -> int
     vector, leaving the vector itself untouched.  Returns the freed byte
     count. *)
 
+(** {1 Forwarding table (pauseless concurrent relocation)}
+
+    Per-object forwarding entries with self-healing load-barrier reads,
+    for the concurrent region collector.  Entries are epoch stamps:
+    {!fwd_begin} opens a relocation phase and invalidates the previous
+    table in O(1); {!fwd_record} marks an object as moved this phase;
+    {!fwd_read} is the mutator's load barrier — the {e first} read of a
+    forwarded object takes the slow path, heals the entry and returns
+    [true]; every later read of the same object returns [false]
+    (remapped slots never hit the forwarding table twice).
+    {!fwd_heal_all} is the remap flip: heals everything still pending. *)
+
+val fwd_begin : t -> unit
+val fwd_record : t -> int -> unit
+
+val fwd_is_forwarded : t -> int -> bool
+(** Forwarded this phase and not yet healed. *)
+
+val fwd_read : t -> int -> bool
+(** Load barrier: heals on first contact, [true] iff this read took the
+    slow path. *)
+
+val fwd_pending : t -> int
+(** Entries recorded this phase and not yet healed. *)
+
+val fwd_hits : t -> int
+(** Load-barrier slow paths taken this phase. *)
+
+val fwd_count : t -> int
+(** Entries recorded this phase (healed or not). *)
+
+val fwd_heal_all : t -> int
+(** Heals every pending entry; returns how many were left for the flip
+    (i.e. never touched by a mutator read). *)
+
 (**/**)
 
 val edges_capacity : t -> int

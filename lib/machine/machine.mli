@@ -67,6 +67,19 @@ type cost_model = {
           memory stop covering it and remote accesses dominate, so cost
           per byte grows linearly (the reason a 50 GB full collection
           takes minutes, not seconds) *)
+  satb_barrier_factor : float;
+      (** mutator slowdown while a concurrent mark with an SATB write
+          barrier is active (pre-write logging); multiplies the
+          core-stealing factor of the concurrent workers *)
+  load_barrier_factor : float;
+      (** mutator slowdown while concurrent relocation is in flight and
+          every reference load runs a colored-pointer-style barrier test *)
+  load_barrier_slow_us : float;
+      (** one load-barrier slow path: forwarding-table lookup plus the
+          self-healing store remapping the referencing slot *)
+  flip_fixed_us : float;
+      (** fixed cost of a pauseless collector's flip safepoint; sub-ms
+          pause class by construction *)
 }
 
 (** {1 Machine} *)

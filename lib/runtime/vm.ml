@@ -12,6 +12,11 @@ module Registry = Gcperf_gc.Registry
 module Telemetry = Gcperf_telemetry.Telemetry
 module Metrics = Gcperf_telemetry.Metrics
 
+(* Link-time registration of the concurrent collector family
+   ([ConcurrentRegionsGC], [JournalRCGC]); without this,
+   [Registry.create] has no builder for those kinds. *)
+let () = Gcperf_gc_concurrent.Plug.install ()
+
 type thread = {
   tid : int;
   roots : Int_table.t;

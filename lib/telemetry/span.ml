@@ -11,6 +11,8 @@ type phase =
   | Fixed
   | Plan
   | Move
+  | Remap
+  | Fold
 
 let phase_to_string = function
   | Safepoint -> "safepoint"
@@ -25,11 +27,15 @@ let phase_to_string = function
   | Fixed -> "fixed"
   | Plan -> "plan"
   | Move -> "move"
+  | Remap -> "remap"
+  | Fold -> "fold"
 
+(* Remap/Fold (pauseless flips) are appended after Fixed so the existing
+   per-phase CSV columns keep their positions. *)
 let all_phases =
   [
     Safepoint; Root_scan; Card_scan; Mark; Copy; Promote; Sweep; Compact;
-    Region_overhead; Fixed;
+    Region_overhead; Fixed; Remap; Fold;
   ]
 
 type t = {

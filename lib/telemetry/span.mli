@@ -21,6 +21,8 @@ type phase =
   | Fixed  (** fixed dispatch overhead of any collection *)
   | Plan  (** relocation planning (sub-phase; see {!t.sub}) *)
   | Move  (** relocation column/slice moving (sub-phase) *)
+  | Remap  (** pauseless remap flip: healing leftover forwarded refs *)
+  | Fold  (** journaled-RC flip: applying folded journal deltas *)
 
 val phase_to_string : phase -> string
 
