@@ -17,8 +17,8 @@
 
    Options:
 
-   - [--only micro,policy,exec,fault,cluster,concurrent,paper,server]
-     restricts the groups that run;
+   - [--only micro,policy,exec,fault,cluster,concurrent,distill,
+     calibrate,paper,server] restricts the groups that run;
    - [--quota SECONDS] overrides the per-test measurement quota;
    - [--json PATH] writes the per-benchmark ns/run estimates as a JSON
      object: [jobs] and [recommended_domain_count] metadata plus a
@@ -33,6 +33,8 @@ module Machine = Gcperf_machine.Machine
 module Gc_config = Gcperf_gc.Gc_config
 module Telemetry = Gcperf_telemetry.Telemetry
 module Span = Gcperf_telemetry.Span
+module Cost = Gcperf_telemetry.Cost
+module Distill = Gcperf_distill.Distill
 
 let mb = 1024 * 1024
 let machine = Machine.paper_server ()
@@ -508,6 +510,91 @@ let concurrent_tests =
     journal_fold_test ~domains:4;
   ]
 
+(* --- calibrate: pinned host-speed probe -------------------------------- *)
+
+(* A fixed, allocation-free integer loop whose only variable is the
+   host's single-thread speed.  bench_gate --calibrate divides the
+   current probe measurement by the baseline's and scales every
+   committed ns/run by that ratio before applying tolerances, so the
+   gate survives runner-hardware drift without loosening the 2x bound.
+   Keep this loop frozen: changing it invalidates every committed
+   baseline at once. *)
+let calibrate_tests =
+  [
+    Test.make ~name:"probe-spin"
+      (Staged.stage (fun () ->
+           let x = ref 0x2545F491 in
+           for _ = 1 to 4096 do
+             x := ((!x * 1103515245) + 12345) land 0x3FFFFFFF;
+             x := !x lxor (!x lsr 13)
+           done;
+           ignore (Sys.opaque_identity !x)));
+  ]
+
+(* --- distill: LBO cost extraction -------------------------------------- *)
+
+let distill_tests =
+  [
+    Test.make ~name:"cost-extract"
+      (* Distilling one recorded run: four counter reads plus a per-phase
+         sweep over the span list (256 spans here — a small-heap ci cell's
+         order of magnitude). *)
+      (let telemetry = Telemetry.create ~enabled:true () in
+       let span =
+         {
+           Span.collector = "G1GC";
+           kind = "young";
+           cause = "eden target reached";
+           start_us = 1.0e6;
+           duration_us = 12345.6;
+           phases =
+             [
+               (Span.Safepoint, 800.0);
+               (Span.Root_scan, 900.0);
+               (Span.Fixed, 900.0);
+               (Span.Copy, 9745.6);
+             ];
+           sub = [];
+           young_before = 64 * mb;
+           young_after = 4 * mb;
+           old_before = 16 * mb;
+           old_after = 17 * mb;
+           promoted = mb;
+         }
+       in
+       for _ = 1 to 256 do
+         Telemetry.record_span telemetry span
+       done;
+       Telemetry.incr telemetry Cost.mutator_raw_us 3.5e7;
+       Telemetry.incr telemetry Cost.alloc_tax_us 1.2e5;
+       Telemetry.incr telemetry Cost.barrier_tax_us 2.3e5;
+       Telemetry.incr telemetry Cost.steal_tax_us 1.4e5;
+       Staged.stage (fun () -> ignore (Distill.of_run telemetry)));
+    Test.make ~name:"step-tax"
+      (* The per-quantum accounting the distillation adds to [Vm.step]
+         when telemetry is on, under the collector whose barrier tax it
+         splits.  Pair with micro/cms-concurrent-tick (telemetry off) to
+         bound the overhead. *)
+      (let telemetry = Telemetry.create ~enabled:true () in
+       let vm =
+         Vm.create ~telemetry machine
+           (Gc_config.default Gc_config.Concurrent_regions
+              ~heap_bytes:(256 * mb) ~young_bytes:(64 * mb))
+           ~seed:7
+       in
+       let th = Vm.spawn_thread vm in
+       let _hoard =
+         List.init 380 (fun _ ->
+             Vm.alloc vm th ~size:(512 * 1024) ~lifetime:`Permanent)
+       in
+       let calls = ref 0 in
+       Staged.stage (fun () ->
+           Vm.step vm ~dt_us:1000.0 (fun _ -> ());
+           (* Bound the gauge series the step samples into. *)
+           incr calls;
+           if !calls land 0x3FF = 0 then Telemetry.clear telemetry));
+  ]
+
 (* --- driver ------------------------------------------------------------ *)
 
 let benchmark tests ~quota_s ~limit =
@@ -579,7 +666,8 @@ type opts = {
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [--only micro,policy,exec,fault,cluster,concurrent,paper,server] \
+     [--only \
+     micro,policy,exec,fault,cluster,concurrent,distill,calibrate,paper,server] \
      [--quota SECONDS] [--limit RUNS] [--json PATH]";
   exit 2
 
@@ -640,6 +728,10 @@ let () =
     cluster_tests ~quota_s:0.5 ~lim:50;
   run_group "concurrent" "concurrent family (barriers, journal fold)"
     concurrent_tests ~quota_s:0.5 ~lim:200;
+  run_group "distill" "distill (LBO cost extraction)" distill_tests
+    ~quota_s:0.5 ~lim:200;
+  run_group "calibrate" "calibrate (host-speed probe)" calibrate_tests
+    ~quota_s:0.5 ~lim:500;
   run_group "paper" "paper artifacts (quick mode)" experiment_tests ~quota_s:1.0
     ~lim:2;
   run_group "server" "client-server campaigns (scaled)" server_tests

@@ -21,6 +21,8 @@ let big_grid () =
   let gb = Exp_common.gb in
   [ (gb 64, gb 6); (gb 64, gb 12); (gb 64, gb 24); (gb 64, gb 48) ]
 
+let ladder () = big_grid () @ Exp_common.small_size_grid ()
+
 let run_scope ~scope ?(jobs = Exp_common.default_jobs ())
     ?(kind = Gc_config.Cms) ?(bench = "h2") () =
   let machine = Exp_common.machine () in
@@ -30,7 +32,7 @@ let run_scope ~scope ?(jobs = Exp_common.default_jobs ())
     | None -> invalid_arg ("Exp_table3: unknown benchmark " ^ bench)
   in
   let iterations = Scope.scaled scope 10 in
-  let grid = big_grid () @ Exp_common.small_size_grid () in
+  let grid = ladder () in
   (* Each grid point is an independent cell: own VM, own heap, shared
      read-only machine. *)
   let rows =

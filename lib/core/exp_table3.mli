@@ -22,6 +22,11 @@ type row = {
 
 type result = { rows : row list; collector : string; bench : string }
 
+val ladder : unit -> (int * int) list
+(** The table's (heap, young) grid: the 64 GB block (young 6–48 GB)
+    followed by the small-memory block.  Shared with [Exp_distill] so
+    the distilled-cost sweep covers exactly the same points. *)
+
 val run_scope :
   scope:Scope.t ->
   ?jobs:int ->

@@ -592,6 +592,54 @@ let pauseless_artifact ~scope ?jobs () =
          r.Exp_pauseless.cells)
     ~render_text:(fun () -> Exp_pauseless.render r)
 
+let distill_artifact ~scope ?jobs () =
+  let r = Exp_distill.run_scope ~scope ?jobs () in
+  let module D = Gcperf_distill.Distill in
+  A.make ~name:"distill"
+    ~title:"Distilled collector cost (LBO): GC cost over an ideal-GC baseline"
+    ~params:(scope_params scope)
+    ~columns:
+      [
+        "gc";
+        "heap_bytes";
+        "young_bytes";
+        "t_ideal_s";
+        "t_real_s";
+        "distilled";
+        "stw_over";
+        "steal_over";
+        "tax_over";
+        "stw_s";
+        "steal_s";
+        "tax_s";
+        "alloc_s";
+        "oom";
+      ]
+    ~rows:
+      (List.map
+         (fun (c : Exp_distill.cell) ->
+           let k = c.Exp_distill.cost in
+           let cm = k.D.components in
+           A.
+             [
+               Text c.Exp_distill.gc;
+               Int c.heap_bytes;
+               Int c.young_bytes;
+               Float (k.D.t_ideal_us /. 1e6);
+               Float (k.D.t_real_us /. 1e6);
+               Float k.D.distilled;
+               Float k.D.stw_over;
+               Float k.D.steal_over;
+               Float k.D.tax_over;
+               Float (cm.D.stw_us /. 1e6);
+               Float (cm.D.steal_us /. 1e6);
+               Float (cm.D.tax_us /. 1e6);
+               Float (cm.D.alloc_us /. 1e6);
+               Bool c.Exp_distill.oom;
+             ])
+         r.Exp_distill.cells)
+    ~render_text:(fun () -> Exp_distill.render r)
+
 (* ------------------------------------------------------------------ *)
 (* Registration: the single place the experiment catalogue is written
    down.  Runs at module-load time; every public entry point below
@@ -637,7 +685,9 @@ let () =
     faults_artifact;
   single "cluster" "Cluster ring: tail at scale" cluster_artifact;
   single "pauseless" "Pauseless family: concurrent regions and journaled RC"
-    pauseless_artifact
+    pauseless_artifact;
+  single "distill" "Distilled collector cost (LBO) over an ideal-GC baseline"
+    distill_artifact
 
 (* ------------------------------------------------------------------ *)
 (* Facade over the registry.                                          *)

@@ -6,6 +6,7 @@ type t = {
   system_gc : unit -> unit;
   tick : dt_us:float -> unit;
   mutator_factor : unit -> float;
+  mutator_tax : unit -> float * float;
   write_ref : parent:int -> child:int -> unit;
   remove_ref : parent:int -> child:int -> unit;
   heap_used : unit -> int;

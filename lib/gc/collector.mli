@@ -27,6 +27,18 @@ type t = {
   mutator_factor : unit -> float;
       (** >= 1; how much concurrent GC activity currently dilates mutator
           work (cores stolen by concurrent GC threads). *)
+  mutator_tax : unit -> float * float;
+      (** Attribution of the current [mutator_factor] as
+          [(barrier, steal)], both >= 1: [barrier] is the mutator-tax
+          component the collector charges on every quantum even with
+          idle GC threads (read/SATB barriers, journal appends,
+          backpressure throttling); [steal] is the core-stealing dilation
+          from concurrent GC workers.  Read-only — implementations must
+          not mutate collector state, and the product need only agree
+          with [mutator_factor] up to rounding: the runtime uses
+          [mutator_factor] alone to advance the clock and this hook only
+          to split the already-charged tax for telemetry (the distilled
+          cost accounting in [lib/distill]). *)
   write_ref : parent:int -> child:int -> unit;
       (** Reference store with the collector's write barrier. *)
   remove_ref : parent:int -> child:int -> unit;

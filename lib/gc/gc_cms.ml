@@ -275,6 +275,9 @@ let create ctx (config : Gc_config.t) =
         let stolen = float_of_int m.Machine.conc_gc_threads in
         cores /. Float.max 1.0 (cores -. stolen)
   in
+  (* CMS taxes the mutator only by stealing cores: no read/write barrier
+     cost beyond the card marks already folded into the pause model. *)
+  let mutator_tax () = (1.0, mutator_factor ()) in
   let alloc_old ~size =
     match Gh.alloc_old_direct heap ~size with
     | Some id ->
@@ -299,6 +302,7 @@ let create ctx (config : Gc_config.t) =
     system_gc = (fun () -> full "system.gc");
     tick;
     mutator_factor;
+    mutator_tax;
     write_ref = (fun ~parent ~child -> Gh.record_store heap ~parent ~child);
     remove_ref = (fun ~parent ~child -> Gh.remove_store heap ~parent ~child);
     heap_used = (fun () -> Gh.heap_used heap);

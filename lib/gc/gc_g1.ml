@@ -767,6 +767,9 @@ let create ctx (config : Gc_config.t) =
         let stolen = float_of_int m.Machine.conc_gc_threads in
         cores /. Float.max 1.0 (cores -. stolen)
   in
+  (* G1's concurrent mark steals cores; its barrier costs live in the
+     pause model (refinement folded into card scanning), not here. *)
+  let mutator_tax () = (1.0, mutator_factor ()) in
   Policy_hooks.install_region_capacity ctx rheap;
   {
     Collector.name;
@@ -776,6 +779,7 @@ let create ctx (config : Gc_config.t) =
     system_gc = (fun () -> full_gc "system.gc");
     tick;
     mutator_factor;
+    mutator_tax;
     write_ref = (fun ~parent ~child -> Rh.record_store rheap ~parent ~child);
     remove_ref = (fun ~parent ~child -> Rh.remove_store rheap ~parent ~child);
     heap_used = (fun () -> Rh.heap_used rheap);

@@ -135,6 +135,7 @@ let create ctx (config : Gc_config.t) =
     system_gc = (fun () -> full "system.gc");
     tick = (fun ~dt_us:_ -> ());
     mutator_factor = (fun () -> 1.0);
+    mutator_tax = (fun () -> (1.0, 1.0));
     write_ref = (fun ~parent ~child -> Gh.record_store heap ~parent ~child);
     remove_ref = (fun ~parent ~child -> Gh.remove_store heap ~parent ~child);
     heap_used = (fun () -> Gh.heap_used heap);

@@ -423,6 +423,27 @@ let create ctx (config : Gc_config.t) =
     let pressure = 1.0 +. Float.min 3.0 (Float.max 0.0 lag) in
     base *. steal *. pressure
   in
+  (* Tax split for distillation, side-effect free (no max_backlog
+     update): journal appends and backpressure throttling are mutator
+     tax, the fold/trace workers are stolen cores. *)
+  let mutator_tax () =
+    let backlog = Journal.length st.active in
+    let base = 1.0 +. config.Gc_config.journal_alloc_overhead in
+    let cores = float_of_int (Machine.cores m) in
+    let steal =
+      match st.phase with
+      | Idle -> 1.0
+      | Folding _ ->
+          cores /. Float.max 1.0 (cores -. float_of_int fold_jobs)
+      | Tracing _ ->
+          cores /. Float.max 1.0 (cores -. float_of_int m.Machine.conc_gc_threads)
+    in
+    let lag =
+      float_of_int (backlog - (2 * fold_batch)) /. float_of_int (4 * fold_batch)
+    in
+    let pressure = 1.0 +. Float.min 3.0 (Float.max 0.0 lag) in
+    (base *. pressure, steal)
+  in
   ctx.Gc_ctx.young_capacity <- (fun () -> config.Gc_config.young_bytes);
   ctx.Gc_ctx.heap_capacity <- (fun () -> heap_bytes);
   {
@@ -433,6 +454,7 @@ let create ctx (config : Gc_config.t) =
     system_gc = (fun () -> sync_trace "system.gc");
     tick;
     mutator_factor;
+    mutator_tax;
     write_ref =
       (fun ~parent ~child ->
         Os.add_ref store ~from:parent ~to_:child;

@@ -494,6 +494,18 @@ let create ctx (config : Gc_config.t) =
         cost.Machine.load_barrier_factor
         *. (cores /. Float.max 1.0 (cores -. stolen))
   in
+  (* Tax split for distillation: the barrier factor is a pure mutator
+     tax (charged even on an otherwise idle machine); the core ratio is
+     stolen CPU.  Their product is exactly [mutator_factor] above. *)
+  let mutator_tax () =
+    let cores = float_of_int (Machine.cores m) in
+    let stolen = float_of_int m.Machine.conc_gc_threads in
+    let steal = cores /. Float.max 1.0 (cores -. stolen) in
+    match st.phase with
+    | Idle -> (1.0, 1.0)
+    | Marking _ -> (cost.Machine.satb_barrier_factor, steal)
+    | Relocating _ -> (cost.Machine.load_barrier_factor, steal)
+  in
   (* The load barrier on the reference-store path: both ends of the
      store are read, so a forwarded endpoint heals here (self-healing),
      once.  Everything the mutators never touch heals at the remap
@@ -514,6 +526,7 @@ let create ctx (config : Gc_config.t) =
     system_gc = (fun () -> full_gc "system.gc");
     tick;
     mutator_factor;
+    mutator_tax;
     write_ref =
       (fun ~parent ~child ->
         barrier parent;

@@ -11,6 +11,7 @@ module Collector = Gcperf_gc.Collector
 module Registry = Gcperf_gc.Registry
 module Telemetry = Gcperf_telemetry.Telemetry
 module Metrics = Gcperf_telemetry.Metrics
+module Cost = Gcperf_telemetry.Cost
 
 (* Link-time registration of the concurrent collector family
    ([ConcurrentRegionsGC], [JournalRCGC]); without this,
@@ -232,6 +233,19 @@ let step t ~dt_us f =
         0 t.threads
     in
     Telemetry.incr tel "vm.allocated_bytes" (float_of_int q_bytes);
+    (* Distillation accounting (Cost, DESIGN.md §18): split the dilation
+       the clock just charged — dt·(factor−1) — into the collector's own
+       (barrier, steal) attribution.  Pure bookkeeping on the already-
+       advanced clock: the [mutator_tax] hook is read-only and these
+       counters never feed back into the simulation. *)
+    let barrier_f, steal_f = t.collector.Collector.mutator_tax () in
+    let tax_total_us = dt_us *. (factor -. 1.0) in
+    let steal_us = Float.min tax_total_us (dt_us *. barrier_f *. (steal_f -. 1.0)) in
+    let barrier_us = Float.max 0.0 (tax_total_us -. steal_us) in
+    Telemetry.incr tel Cost.mutator_raw_us dt_us;
+    Telemetry.incr tel Cost.alloc_tax_us alloc_overhead;
+    Telemetry.incr tel Cost.barrier_tax_us barrier_us;
+    Telemetry.incr tel Cost.steal_tax_us steal_us;
     Telemetry.sample tel "heap.used_bytes" ~t_us
       (float_of_int (t.collector.Collector.heap_used ()));
     Telemetry.sample tel "heap.young_bytes" ~t_us

@@ -1,0 +1,40 @@
+(** Cost extraction for the LBO distillation methodology.
+
+    The runtime splits everything a collector adds on top of the raw
+    mutator timeline into four counters; this module owns their names
+    (producer: [Vm.step]; consumer: [lib/distill]) and reads them — plus
+    the stop-the-world totals recorded by [Gc_ctx.record_pause] — back
+    out of a telemetry registry.  See DESIGN.md §18. *)
+
+val mutator_raw_us : string
+(** Counter: Σ dt over all mutator quanta — the recorded mutator
+    timeline with every collector cost struck out. *)
+
+val alloc_tax_us : string
+(** Counter: allocation-path overhead (TLAB refill / serialised bump).
+    Retained in the ideal-GC baseline: an ideal collector still hands
+    out memory. *)
+
+val barrier_tax_us : string
+(** Counter: mutator-tax dilation (read/SATB barriers, journal appends,
+    backpressure) charged on quanta even when no GC worker runs. *)
+
+val steal_tax_us : string
+(** Counter: core-stealing dilation from concurrent GC workers. *)
+
+type taxes = {
+  raw_us : float;
+  alloc_us : float;
+  barrier_us : float;
+  steal_us : float;
+}
+
+val taxes : Telemetry.t -> taxes
+(** Current values of the four counters (0 where never incremented). *)
+
+val stw_total_us : Telemetry.t -> float
+(** Total stop-the-world pause time ([gc.pause_us_total]). *)
+
+val stw_phase_us : Telemetry.t -> (Span.phase * float) list
+(** Stop-the-world time per phase, summed over all recorded spans, in
+    {!Span.all_phases} order; phases never charged are omitted. *)

@@ -26,6 +26,10 @@ type phase =
 
 val phase_to_string : phase -> string
 
+val all_phases : phase list
+(** Every phase, in CSV column order ({!Plan}/{!Move} excluded: they are
+    sub-phase attributions, not charged phases). *)
+
 type t = {
   collector : string;
   kind : string;  (** pause kind, [Gc_event.pause_kind_to_string] form *)

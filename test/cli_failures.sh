@@ -48,6 +48,8 @@ check unknown-collector 1 "unknown collector" "did you mean" \
   -- bench xalan --gc parallelld -n 1
 check unknown-experiment 1 "unknown experiment" "did you mean" \
   -- run fig33 --scope ci
+check unknown-experiment-distil 1 "unknown experiment" "did you mean" "distill" \
+  -- run distil --scope ci
 check unknown-benchmark 1 "unknown benchmark" "did you mean" \
   -- bench xaln -n 1
 check unknown-fault-profile 1 "unknown fault profile" "did you mean" \

@@ -10,7 +10,7 @@ let contains s sub =
   go 0
 
 let test_registry () =
-  Alcotest.(check int) "16 experiments" 16 (List.length E.all_names);
+  Alcotest.(check int) "17 experiments" 17 (List.length E.all_names);
   Alcotest.(check bool) "unknown rejected" true
     (E.artifact ~scope:Gcperf.Scope.ci "nope" = None)
 

@@ -4,6 +4,7 @@
    Usage:
      bench_gate --baseline BENCH_micro.json --current bench.json
                 [--tolerance FACTOR] [--fail-groups G1,G2]
+                [--calibrate] [--probe NAME]
 
    A benchmark regresses when current_ns > tolerance * baseline_ns.
    The default tolerance is 2.0: shared CI runners are noisy enough
@@ -13,6 +14,19 @@
    blow far past 2x.  Benchmarks present on only one side are reported
    but never fail the gate, so adding or retiring a bench does not
    require touching the baseline in the same change.
+
+   --calibrate defends the gate against host drift: the committed
+   baselines were measured on some historical runner, and a slower (or
+   faster) host shifts every number by a common factor that the 2x
+   tolerance would otherwise absorb as headroom — or spend entirely,
+   turning the gate into a coin flip (PR 9's alloc-tlab: 80.6 ns
+   measured against a 38.7 ns stale baseline).  The calibration probe
+   (bench/main.ml "calibrate/probe-spin", a frozen allocation-free
+   integer loop) is measured in the same run as everything else; the
+   gate scales every baseline by current_probe / baseline_probe before
+   applying tolerances, so only relative regressions remain.  The probe
+   itself is never gated.  Requires the probe on both sides (exit 2
+   otherwise); --probe overrides the probe name.
 
    Exit code: 0 when nothing regressed, 1 otherwise.  With
    --fail-groups, only regressions in the listed groups (the prefix
@@ -91,9 +105,10 @@ let group_of name =
 let () =
   let baseline = ref "" and current = ref "" and tolerance = ref 2.0 in
   let fail_groups = ref [] in
+  let calibrate = ref false and probe = ref "calibrate/probe-spin" in
   let usage =
     "usage: bench_gate --baseline PATH --current PATH [--tolerance F] \
-     [--fail-groups G1,G2]"
+     [--fail-groups G1,G2] [--calibrate] [--probe NAME]"
   in
   let rec parse = function
     | [] -> ()
@@ -114,6 +129,12 @@ let () =
     | "--fail-groups" :: gs :: rest ->
         fail_groups := String.split_on_char ',' gs;
         parse rest
+    | "--calibrate" :: rest ->
+        calibrate := true;
+        parse rest
+    | "--probe" :: name :: rest ->
+        probe := name;
+        parse rest
     | arg :: _ ->
         Printf.eprintf "bench_gate: unknown argument %s\n%s\n" arg usage;
         exit 2
@@ -125,14 +146,39 @@ let () =
   end;
   let base = entries_of_json (read_file !baseline) in
   let cur = entries_of_json (read_file !current) in
+  (* Host-drift calibration: scale every baseline by the probe's
+     current/baseline ratio so the tolerances compare like with like. *)
+  let scale =
+    if not !calibrate then 1.0
+    else
+      match (List.assoc_opt !probe base, List.assoc_opt !probe cur) with
+      | Some (Some b), Some (Some c) when b > 0.0 && c > 0.0 ->
+          let r = c /. b in
+          Printf.printf
+            "calibrate  %-32s %12.1f ns -> %12.1f ns (host ratio %.2fx)\n"
+            !probe b c r;
+          r
+      | _ ->
+          Printf.eprintf
+            "bench_gate: --calibrate: probe %s needs an estimate in both \
+             --baseline and --current\n"
+            !probe;
+          exit 2
+  in
   (* With no --fail-groups every regression gates; with it, only the
-     listed groups set the exit code and the rest are advisory. *)
-  let gated name = !fail_groups = [] || List.mem (group_of name) !fail_groups in
+     listed groups set the exit code and the rest are advisory.  The
+     calibration probe never gates: after scaling its ratio is 1.0 by
+     construction, and a probe "regression" is host drift, not code. *)
+  let gated name =
+    name <> !probe
+    && (!fail_groups = [] || List.mem (group_of name) !fail_groups)
+  in
   let failures = ref 0 and advisories = ref 0 in
   List.iter
     (fun (name, ns) ->
       match (ns, List.assoc_opt name base) with
       | Some ns, Some (Some base_ns) ->
+          let base_ns = base_ns *. scale in
           let ratio = ns /. base_ns in
           if ratio > !tolerance then
             if gated name then begin

@@ -27,7 +27,7 @@ gc_jobs="${2:-1}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$root"
 
-artifacts=(table2 table3 fig3 faults cluster pauseless)
+artifacts=(table2 table3 fig3 faults cluster pauseless distill)
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
